@@ -1,0 +1,262 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure
+// (see DESIGN.md §4 and EXPERIMENTS.md). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Fig benchmarks execute the real aggregation algorithms at the
+// paper's rank scales with byte movement charged to the system cost
+// models; the Table benchmarks build real BAT files and time real
+// progressive reads.
+package libbat
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"libbat/internal/bench"
+	"libbat/internal/perf"
+	"libbat/internal/workloads"
+)
+
+func benchProfiles() []perf.Profile {
+	return []perf.Profile{perf.Stampede2(), perf.Summit()}
+}
+
+func BenchmarkFig5WriteScaling(b *testing.B) {
+	for _, p := range benchProfiles() {
+		b.Run(p.Name, func(b *testing.B) {
+			cfg := bench.DefaultWeakScaling(p)
+			for i := 0; i < b.N; i++ {
+				t, err := bench.Fig5WriteScaling(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 && testing.Verbose() {
+					b.Log(render(t))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig6Breakdown(b *testing.B) {
+	for _, p := range benchProfiles() {
+		b.Run(p.Name, func(b *testing.B) {
+			cfg := bench.DefaultWeakScaling(p)
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Fig6Breakdown(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig7ReadScaling(b *testing.B) {
+	for _, p := range benchProfiles() {
+		b.Run(p.Name, func(b *testing.B) {
+			cfg := bench.DefaultWeakScaling(p)
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Fig7ReadScaling(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig8DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8DatasetStats(1536); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9CoalBoilerCompare(b *testing.B) {
+	cfg := bench.DefaultCoalBoilerCompare()
+	for i := 0; i < b.N; i++ {
+		w, _, err := bench.Fig9CoalBoiler(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log(render(w))
+		}
+	}
+}
+
+func BenchmarkFig10CoalBoilerBreakdown(b *testing.B) {
+	cfg := bench.DefaultCoalBoilerCompare()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig10Breakdown(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11DamBreakCompare(b *testing.B) {
+	for _, big := range []bool{false, true} {
+		name := "2M-1536ranks"
+		if big {
+			name = "8M-6144ranks"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg, total := bench.DefaultDamBreakCompare(big)
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.Fig11DamBreak(cfg, total); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig12DamBreakBreakdown(b *testing.B) {
+	cfg, total := bench.DefaultDamBreakCompare(true)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig12Breakdown(cfg, total); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// visTable writes scaled-down datasets once, then benchmarks the real
+// progressive read loop of Tables I/II.
+func benchProgressive(b *testing.B, w workloads.Workload, step int, target int64) {
+	b.Helper()
+	store := MemStorage()
+	base := fmt.Sprintf("bench-%s-%d", w.Name(), step)
+	if _, err := bench.WriteDataset(w, step, store, base, DefaultWriteConfig(target)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var pts int64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.ProgressiveRead(store, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = res.TotalPts
+	}
+	b.ReportMetric(float64(pts), "points/op")
+}
+
+func BenchmarkTable1CoalBoilerReads(b *testing.B) {
+	for _, target := range []int64{1 << 20, 2 << 20, 4 << 20} {
+		b.Run(fmt.Sprintf("target-%dMB", target>>20), func(b *testing.B) {
+			cb, err := workloads.NewCoalBoiler(16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cb.SetGrowth(0, 10, 200_000, 200_000)
+			benchProgressive(b, cb, 5, target)
+		})
+	}
+}
+
+func BenchmarkTable2DamBreakReads(b *testing.B) {
+	for _, target := range []int64{1 << 20, 2 << 20} {
+		b.Run(fmt.Sprintf("target-%dMB", target>>20), func(b *testing.B) {
+			db, err := workloads.NewDamBreak(16, 200_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchProgressive(b, db, 1000, target)
+		})
+	}
+}
+
+func BenchmarkFig13QualityProgression(b *testing.B) {
+	cfg := bench.VisReadConfig{Ranks: 8, TargetSizes: []int64{1 << 20}}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig13Quality(cfg, 100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFileStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.FileStats(1536, 4501, 8<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverhead(b *testing.B) {
+	cfg := bench.VisReadConfig{Ranks: 8}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Overhead(cfg, 200_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndWrite measures the full-fidelity collective write
+// (goroutine ranks, real aggregation, real BAT files in memory).
+func BenchmarkEndToEndWrite(b *testing.B) {
+	for _, ranks := range []int{8, 32} {
+		b.Run(fmt.Sprintf("ranks-%d", ranks), func(b *testing.B) {
+			w, err := workloads.NewUniform(ranks, 4096, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes := workloads.TotalCount(w, 0) * int64(w.Schema().BytesPerParticle())
+			b.SetBytes(bytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				store := MemStorage()
+				if _, err := bench.WriteDataset(w, 0, store, "e2e", DefaultWriteConfig(256<<10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblations regenerates the DESIGN.md ablation studies.
+func BenchmarkAblations(b *testing.B) {
+	b.Run("overfull", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.AblateOverfull(1536, 2501, 8<<20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("split-axes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.AblateSplitAxes(1536, 1001, 3<<20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lod", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.AblateLOD(8, 60_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dictionary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.AblateBitmapDictionary(100_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("aggregator-spread", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.AblateAggregatorSpread(1536, 2501, 8<<20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func render(t *bench.Table) string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return "\n" + sb.String()
+}

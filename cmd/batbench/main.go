@@ -1,0 +1,208 @@
+// Command batbench regenerates the tables and figures of the paper's
+// evaluation (§VI). Modeled benchmarks (Figures 5-7, 9-12 and the file
+// statistics) run the real aggregation algorithms at the paper's rank
+// counts with byte movement charged to the Stampede2/Summit cost models;
+// the visualization benchmarks (Tables I/II, Figure 13, the layout
+// overhead) build real BAT files and time real reads.
+//
+// Usage:
+//
+//	batbench -all                  # everything (scaled-down vis reads)
+//	batbench -fig 5 -system summit # one figure
+//	batbench -table 1              # Table I
+//	batbench -filestats -overhead
+//	batbench -csv                  # emit CSV instead of aligned text
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"libbat"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"libbat/internal/bench"
+	"libbat/internal/perf"
+)
+
+// saveTable writes a table under dir as NN-slug.txt and NN-slug.csv.
+func saveTable(dir string, seq int, t *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := make([]rune, 0, 40)
+	for _, r := range strings.ToLower(t.Title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			slug = append(slug, r)
+		case r == ' ' || r == '-' || r == '/':
+			if len(slug) > 0 && slug[len(slug)-1] != '-' {
+				slug = append(slug, '-')
+			}
+		}
+		if len(slug) >= 40 {
+			break
+		}
+	}
+	base := filepath.Join(dir, fmt.Sprintf("%02d-%s", seq, strings.Trim(string(slug), "-")))
+	var txt, csvBuf bytes.Buffer
+	t.Fprint(&txt)
+	t.CSV(&csvBuf)
+	if err := os.WriteFile(base+".txt", txt.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(base+".csv", csvBuf.Bytes(), 0o644)
+}
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every benchmark")
+		fig       = flag.Int("fig", 0, "regenerate one figure (5, 6, 7, 8, 9, 10, 11, 12, 13)")
+		table     = flag.Int("table", 0, "regenerate one table (1 or 2)")
+		fileStats = flag.Bool("filestats", false, "output-file statistics (§VI-A.2)")
+		overhead  = flag.Bool("overhead", false, "layout memory overhead (§VI-B)")
+		ablate    = flag.Bool("ablate", false, "ablation studies of the design choices")
+		ext       = flag.Bool("extensions", false, "extension experiments (cosmology workload, auto target size)")
+		system    = flag.String("system", "both", "system profile: stampede2, summit, or both")
+		measured  = flag.Bool("measured", false, "full-fidelity measured pipeline breakdown")
+		csv       = flag.Bool("csv", false, "emit CSV")
+		outdir    = flag.String("outdir", "", "also save each table as .txt and .csv under this directory")
+		dir       = flag.String("dir", "", "directory for materialized datasets (default: in-memory)")
+		visRanks  = flag.Int("vis-ranks", 32, "ranks for the materialized visualization benchmarks")
+		visScale  = flag.Int64("vis-particles", 300_000, "particles for the materialized benchmarks")
+	)
+	flag.Parse()
+	if !*all && *fig == 0 && *table == 0 && !*fileStats && !*overhead && !*ablate && !*ext && !*measured {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tableSeq := 0
+	emit := func(t *bench.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "batbench:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+		if *outdir != "" {
+			if err := saveTable(*outdir, tableSeq, t); err != nil {
+				fmt.Fprintln(os.Stderr, "batbench: saving table:", err)
+				os.Exit(1)
+			}
+			tableSeq++
+		}
+	}
+	profiles := func() []perf.Profile {
+		switch *system {
+		case "stampede2":
+			return []perf.Profile{perf.Stampede2()}
+		case "summit":
+			return []perf.Profile{perf.Summit()}
+		default:
+			return []perf.Profile{perf.Stampede2(), perf.Summit()}
+		}
+	}
+	visCfg := bench.VisReadConfig{
+		Ranks:       *visRanks,
+		Steps:       []int{0, 50, 100},
+		TargetSizes: []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20},
+		Dir:         *dir,
+	}
+
+	run := func(id int) {
+		switch id {
+		case 5:
+			for _, p := range profiles() {
+				emit(bench.Fig5WriteScaling(bench.DefaultWeakScaling(p)))
+			}
+		case 6:
+			for _, p := range profiles() {
+				emit(bench.Fig6Breakdown(bench.DefaultWeakScaling(p)))
+			}
+		case 7:
+			for _, p := range profiles() {
+				emit(bench.Fig7ReadScaling(bench.DefaultWeakScaling(p)))
+			}
+		case 8:
+			emit(bench.Fig8DatasetStats(1536))
+		case 9:
+			w, r, err := bench.Fig9CoalBoiler(bench.DefaultCoalBoilerCompare())
+			emit(w, err)
+			emit(r, nil)
+		case 10:
+			emit(bench.Fig10Breakdown(bench.DefaultCoalBoilerCompare()))
+		case 11:
+			for _, big := range []bool{false, true} {
+				cfg, total := bench.DefaultDamBreakCompare(big)
+				w, r, err := bench.Fig11DamBreak(cfg, total)
+				emit(w, err)
+				emit(r, nil)
+			}
+		case 12:
+			cfg, total := bench.DefaultDamBreakCompare(true)
+			emit(bench.Fig12Breakdown(cfg, total))
+		case 13:
+			emit(bench.Fig13Quality(visCfg, *visScale))
+		default:
+			fmt.Fprintf(os.Stderr, "batbench: unknown figure %d\n", id)
+			os.Exit(2)
+		}
+	}
+	runTable := func(id int) {
+		switch id {
+		case 1:
+			emit(bench.Table1CoalBoiler(visCfg, *visScale/2, *visScale))
+		case 2:
+			emit(bench.Table2DamBreak(visCfg, *visScale))
+		default:
+			fmt.Fprintf(os.Stderr, "batbench: unknown table %d\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *fig != 0 {
+		run(*fig)
+	}
+	if *table != 0 {
+		runTable(*table)
+	}
+	if *fileStats || *all {
+		emit(bench.FileStats(1536, 4501, 8<<20))
+	}
+	if *overhead || *all {
+		emit(bench.Overhead(visCfg, *visScale))
+	}
+	if *ext || *all {
+		emit(bench.CosmoCompare(bench.CompareConfig{
+			Profile:     perf.Stampede2(),
+			Ranks:       1536,
+			Steps:       []int{0, 250, 500, 750, 1000},
+			TargetSizes: []int64{8 << 20, 32 << 20},
+		}, 20_000_000, 24))
+		emit(bench.RecommendCheck(perf.Stampede2(), []int{96, 384, 1536, 6144, 24576},
+			bench.UniformPerRank, bench.UniformAttrs, libbat.RecommendTargetSize))
+	}
+	if *measured || *all {
+		emit(bench.MeasuredBreakdown(*visRanks, *visScale, 2<<20))
+	}
+	if *ablate || *all {
+		emit(bench.AblateOverfull(1536, 2501, 8<<20))
+		emit(bench.AblateSplitAxes(1536, 1001, 3<<20))
+		emit(bench.AblateLOD(*visRanks, *visScale/2))
+		emit(bench.AblateBitmapDictionary(int(*visScale)))
+		emit(bench.AblateAggregatorSpread(1536, 2501, 8<<20))
+	}
+	if *all {
+		for _, id := range []int{5, 6, 7, 8, 9, 10, 11, 12, 13} {
+			run(id)
+		}
+		runTable(1)
+		runTable(2)
+	}
+}

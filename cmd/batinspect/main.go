@@ -1,0 +1,135 @@
+// Command batinspect prints the structure of a written dataset: the
+// top-level metadata (aggregation tree, global attribute ranges, leaf
+// files) and, with -leaf, the layout of one BAT file (shallow tree,
+// treelets, bitmap dictionary, storage overhead).
+//
+//	batinspect -in /tmp/ds -name coal-boiler-0050
+//	batinspect -in /tmp/ds -name coal-boiler-0050 -leaf 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"libbat/internal/bat"
+	"libbat/internal/core"
+	"libbat/internal/meta"
+	"libbat/internal/pfs"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "bat-out", "dataset directory")
+		name = flag.String("name", "", "dataset base name (required)")
+		leaf = flag.Int("leaf", -1, "inspect one leaf BAT file")
+		tree = flag.Bool("tree", false, "print the aggregation tree hierarchy")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "batinspect:", err)
+		os.Exit(1)
+	}
+	if *name == "" {
+		fail(fmt.Errorf("-name is required"))
+	}
+	store, err := pfs.NewOS(*in)
+	if err != nil {
+		fail(err)
+	}
+	mf, err := store.Open(core.MetaFileName(*name))
+	if err != nil {
+		fail(err)
+	}
+	buf := make([]byte, mf.Size())
+	if _, err := mf.ReadAt(buf, 0); err != nil && err != io.EOF {
+		fail(err)
+	}
+	mf.Close()
+	m, err := meta.Decode(buf)
+	if err != nil {
+		fail(err)
+	}
+
+	if *leaf >= 0 {
+		if *leaf >= len(m.Leaves) {
+			fail(fmt.Errorf("leaf %d out of range (%d leaves)", *leaf, len(m.Leaves)))
+		}
+		inspectLeaf(store, m.Leaves[*leaf], fail)
+		return
+	}
+	if *tree {
+		printTree(m)
+		return
+	}
+
+	fmt.Printf("dataset %s\n", *name)
+	fmt.Printf("  domain: %v\n", m.Domain)
+	fmt.Printf("  particles: %d in %d leaf files (%d aggregation-tree inner nodes)\n",
+		m.TotalCount(), len(m.Leaves), len(m.Nodes))
+	fmt.Printf("  attributes:\n")
+	for a, d := range m.Schema.Attrs {
+		r := m.GlobalRanges[a]
+		fmt.Printf("    %-12s %-8s global range [%g, %g]\n", d.Name, d.Type, r.Min, r.Max)
+	}
+	fmt.Printf("  leaves:\n")
+	for i, l := range m.Leaves {
+		fmt.Printf("    %3d %-28s %9d particles  %v\n", i, l.FileName, l.Count, l.Bounds)
+	}
+}
+
+// printTree renders the aggregation tree hierarchy: inner split planes and
+// leaf files with their particle counts.
+func printTree(m *meta.Meta) {
+	if len(m.Leaves) == 0 {
+		fmt.Println("empty dataset")
+		return
+	}
+	var rec func(ref int32, indent string)
+	rec = func(ref int32, indent string) {
+		if ref < 0 {
+			li := int(^ref)
+			l := m.Leaves[li]
+			fmt.Printf("%sleaf %d: %s (%d particles)\n", indent, li, l.FileName, l.Count)
+			return
+		}
+		n := m.Nodes[ref]
+		fmt.Printf("%ssplit %s @ %.4g\n", indent, n.Axis, n.Pos)
+		rec(n.Left, indent+"  ")
+		rec(n.Right, indent+"  ")
+	}
+	if len(m.Nodes) == 0 {
+		// Flat grouping (e.g. AUG): list leaves.
+		for li := range m.Leaves {
+			rec(int32(^li), "")
+		}
+		return
+	}
+	rec(0, "")
+}
+
+func inspectLeaf(store pfs.Storage, lm meta.LeafMeta, fail func(error)) {
+	fh, err := store.Open(lm.FileName)
+	if err != nil {
+		fail(err)
+	}
+	defer fh.Close()
+	f, err := bat.Decode(fh, fh.Size())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("BAT file %s (%d bytes)\n", lm.FileName, fh.Size())
+	fmt.Printf("  particles: %d, treelets: %d, max treelet depth: %d\n",
+		f.NumParticles, f.NumTreelets(), f.MaxTreeletDepth)
+	fmt.Printf("  build config: subprefix=%d bits, %d LOD/node, <=%d particles/leaf\n",
+		f.SubprefixBits, f.LODPerNode, f.MaxLeafSize)
+	fmt.Printf("  domain: %v\n", f.Domain)
+	raw := int64(f.NumParticles) * int64(f.Schema.BytesPerParticle())
+	fmt.Printf("  raw payload: %d bytes, layout overhead: %.2f%%\n",
+		raw, 100*float64(fh.Size()-raw)/float64(raw))
+	fmt.Printf("  local attribute ranges:\n")
+	for a, d := range f.Schema.Attrs {
+		fmt.Printf("    %-12s [%g, %g]\n", d.Name, f.Ranges[a].Min, f.Ranges[a].Max)
+	}
+}

@@ -1,0 +1,136 @@
+// Command batread runs a collective two-phase read of a dataset written by
+// batwrite (or the library) and reports per-rank read statistics, or — with
+// -vis — runs the paper's single-threaded progressive visualization read
+// benchmark on the dataset.
+//
+//	batread -in /tmp/ds -name coal-boiler-0050 -ranks 8
+//	batread -in /tmp/ds -name coal-boiler-0050 -vis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"libbat"
+	"libbat/internal/bench"
+)
+
+// filterFlags accumulates repeated -filter attr,min,max arguments.
+type filterFlags []libbat.AttrFilter
+
+func (f *filterFlags) String() string { return fmt.Sprintf("%d filters", len(*f)) }
+
+func (f *filterFlags) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("want attr,min,max")
+	}
+	attr, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	min, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return err
+	}
+	max, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, libbat.AttrFilter{Attr: attr, Min: min, Max: max})
+	return nil
+}
+
+func main() {
+	var filters filterFlags
+	var (
+		in      = flag.String("in", "bat-out", "dataset directory")
+		name    = flag.String("name", "", "dataset base name (required)")
+		ranks   = flag.Int("ranks", 8, "number of simulated reader ranks")
+		vis     = flag.Bool("vis", false, "run the progressive visualization read benchmark instead")
+		quality = flag.Float64("quality", 1, "LOD quality in (0,1] for -count queries")
+		count   = flag.Bool("count", false, "count particles matching -filter/-quality and exit")
+	)
+	flag.Var(&filters, "filter", "attribute filter attr,min,max (repeatable, with -count)")
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "batread:", err)
+		os.Exit(1)
+	}
+	if *name == "" {
+		fail(fmt.Errorf("-name is required"))
+	}
+	store, err := libbat.DirStorage(*in)
+	if err != nil {
+		fail(err)
+	}
+
+	if *count {
+		ds, err := libbat.OpenDataset(store, *name)
+		if err != nil {
+			fail(err)
+		}
+		defer ds.Close()
+		n, err := ds.Count(libbat.Query{Filters: filters, Quality: *quality})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d of %d particles match (quality %.2f, %d filters)\n",
+			n, ds.NumParticles(), *quality, len(filters))
+		return
+	}
+
+	if *vis {
+		res, err := bench.ProgressiveRead(store, *name)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("progressive read (quality 0.1..1.0): avg %.2f ms/read, %.0f pts/ms, %d points total\n",
+			res.AvgReadMs, res.PtsPerMs, res.TotalPts)
+		return
+	}
+
+	ds, err := libbat.OpenDataset(store, *name)
+	if err != nil {
+		fail(err)
+	}
+	domain := ds.Bounds()
+	total := ds.NumParticles()
+	ds.Close()
+
+	var mu sync.Mutex
+	var sumParticles int64
+	start := time.Now()
+	err = libbat.Run(*ranks, func(c *libbat.Comm) error {
+		// Each reader takes a slab of the domain along the longest axis.
+		axis := domain.LongestAxis()
+		lo := domain.Lower.Component(axis) + domain.Size().Component(axis)*float64(c.Rank())/float64(*ranks)
+		hi := domain.Lower.Component(axis) + domain.Size().Component(axis)*float64(c.Rank()+1)/float64(*ranks)
+		box := domain
+		box.Lower = box.Lower.SetComponent(axis, lo)
+		box.Upper = box.Upper.SetComponent(axis, hi)
+		got, stats, err := libbat.Read(c, store, *name, box)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		sumParticles += int64(got.Len())
+		mu.Unlock()
+		if c.Rank() == 0 {
+			fmt.Printf("rank 0: meta=%v fileread=%v transfer=%v (%d files served)\n",
+				stats.Metadata.Round(time.Microsecond), stats.FileRead.Round(time.Microsecond),
+				stats.Transfer.Round(time.Microsecond), stats.NumFiles)
+		}
+		return nil
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("read %d particles (dataset holds %d) on %d ranks in %v\n",
+		sumParticles, total, *ranks, time.Since(start).Round(time.Millisecond))
+}

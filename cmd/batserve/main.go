@@ -1,0 +1,300 @@
+// Command batserve is the paper's Figure-4 prototype: an HTTP server that
+// progressively streams particles out of a written dataset, applying
+// spatial and attribute filters server-side through the BAT layout. The
+// bundled web page fetches increasing quality levels and renders them.
+//
+//	batserve -in /tmp/ds -name coal-boiler-0050 -addr :8080
+//
+// Endpoints:
+//
+//	GET /info                          dataset metadata (JSON)
+//	GET /points?quality=0.4&prev=0.2   binary stream of xyz float32 triples
+//	    [&box=x0,y0,z0,x1,y1,z1][&filter=attr,min,max][&attr=i]
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"libbat"
+)
+
+type server struct {
+	mu    sync.Mutex // Datasets cache file handles; serialize queries
+	store libbat.Storage
+	names []string // time series of dataset base names
+	open  map[int]*libbat.Dataset
+}
+
+// dataset lazily opens timestep i of the series.
+func (s *server) dataset(i int) (*libbat.Dataset, error) {
+	if i < 0 || i >= len(s.names) {
+		return nil, fmt.Errorf("step %d out of range [0,%d)", i, len(s.names))
+	}
+	if ds, ok := s.open[i]; ok {
+		return ds, nil
+	}
+	ds, err := libbat.OpenDataset(s.store, s.names[i])
+	if err != nil {
+		return nil, err
+	}
+	s.open[i] = ds
+	return ds, nil
+}
+
+// seriesOf finds the dataset base names matching prefix (all of them when
+// the prefix names a series; exactly one when it names a single dataset).
+func seriesOf(store libbat.Storage, prefix string) ([]string, error) {
+	all, err := store.List()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, n := range all {
+		if strings.HasSuffix(n, ".batm") && strings.HasPrefix(n, prefix) {
+			names = append(names, strings.TrimSuffix(n, ".batm"))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no datasets matching %q", prefix)
+	}
+	return names, nil
+}
+
+func main() {
+	var (
+		in   = flag.String("in", "bat-out", "dataset directory")
+		name = flag.String("name", "", "dataset base name, or a prefix matching a time series (required)")
+		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+	)
+	flag.Parse()
+	if *name == "" {
+		log.Fatal("batserve: -name is required")
+	}
+	store, err := libbat.DirStorage(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names, err := seriesOf(store, *name)
+	if err != nil {
+		log.Fatal("batserve: ", err)
+	}
+	s := &server{store: store, names: names, open: map[int]*libbat.Dataset{}}
+	ds, err := s.dataset(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	http.HandleFunc("/", s.page)
+	http.HandleFunc("/info", s.info)
+	http.HandleFunc("/points", s.points)
+	log.Printf("batserve: %d timesteps (first: %d particles in %d files); listening on http://%s",
+		len(names), ds.NumParticles(), ds.NumFiles(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}
+
+// stepParam parses the ?step=N parameter (default 0).
+func (s *server) stepParam(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("step")
+	if v == "" {
+		return 0, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func (s *server) info(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	step, err := s.stepParam(r)
+	if err != nil {
+		http.Error(w, "bad step", http.StatusBadRequest)
+		return
+	}
+	ds, err := s.dataset(step)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	b := ds.Bounds()
+	attrs := make([]map[string]any, ds.Schema().NumAttrs())
+	for a := range attrs {
+		min, max, _ := ds.AttrRange(a)
+		attrs[a] = map[string]any{"name": ds.Schema().Attrs[a].Name, "min": min, "max": max}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"steps":     len(s.names),
+		"step":      step,
+		"name":      s.names[step],
+		"particles": ds.NumParticles(),
+		"files":     ds.NumFiles(),
+		"lower":     []float64{b.Lower.X, b.Lower.Y, b.Lower.Z},
+		"upper":     []float64{b.Upper.X, b.Upper.Y, b.Upper.Z},
+		"attrs":     attrs,
+	})
+}
+
+func parseFloats(s string, n int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d comma-separated values", n)
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (s *server) points(w http.ResponseWriter, r *http.Request) {
+	q := libbat.Query{Quality: 1}
+	if v := r.URL.Query().Get("quality"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			http.Error(w, "bad quality", http.StatusBadRequest)
+			return
+		}
+		q.Quality = f
+	}
+	if v := r.URL.Query().Get("prev"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			http.Error(w, "bad prev", http.StatusBadRequest)
+			return
+		}
+		q.PrevQuality = f
+	}
+	if v := r.URL.Query().Get("box"); v != "" {
+		vals, err := parseFloats(v, 6)
+		if err != nil {
+			http.Error(w, "bad box: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		box := libbat.NewBox(libbat.V3(vals[0], vals[1], vals[2]), libbat.V3(vals[3], vals[4], vals[5]))
+		q.Bounds = &box
+	}
+	for _, v := range r.URL.Query()["filter"] {
+		vals, err := parseFloats(v, 3)
+		if err != nil {
+			http.Error(w, "bad filter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		q.Filters = append(q.Filters, libbat.AttrFilter{Attr: int(vals[0]), Min: vals[1], Max: vals[2]})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	step, err := s.stepParam(r)
+	if err != nil {
+		http.Error(w, "bad step", http.StatusBadRequest)
+		return
+	}
+	ds, err := s.dataset(step)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	attr := -1
+	if v := r.URL.Query().Get("attr"); v != "" {
+		a, err := strconv.Atoi(v)
+		if err != nil || a < 0 || a >= ds.Schema().NumAttrs() {
+			http.Error(w, "bad attr", http.StatusBadRequest)
+			return
+		}
+		attr = a
+	}
+
+	// Stream xyz (and optionally one attribute) as little-endian float32.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	buf := make([]byte, 16)
+	stride := 12
+	if attr >= 0 {
+		stride = 16
+	}
+	err = ds.Query(q, func(p libbat.Vec3, attrs []float64) error {
+		binary.LittleEndian.PutUint32(buf[0:], math.Float32bits(float32(p.X)))
+		binary.LittleEndian.PutUint32(buf[4:], math.Float32bits(float32(p.Y)))
+		binary.LittleEndian.PutUint32(buf[8:], math.Float32bits(float32(p.Z)))
+		if attr >= 0 {
+			binary.LittleEndian.PutUint32(buf[12:], math.Float32bits(float32(attrs[attr])))
+		}
+		_, err := w.Write(buf[:stride])
+		return err
+	})
+	if err != nil {
+		log.Printf("batserve: query aborted: %v", err)
+	}
+}
+
+func (s *server) page(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, pageHTML)
+}
+
+const pageHTML = `<!doctype html>
+<meta charset="utf-8">
+<title>libbat progressive viewer</title>
+<style>body{font:14px sans-serif;margin:1em}canvas{border:1px solid #999}</style>
+<h3>libbat progressive particle viewer</h3>
+<div>quality <input id="q" type="range" min="5" max="100" value="20"> <span id="qv"></span>
+step <input id="s" type="number" min="0" value="0" style="width:4em">/<span id="smax"></span>
+points: <span id="n">0</span></div>
+<canvas id="c" width="800" height="600"></canvas>
+<script>
+const c = document.getElementById('c').getContext('2d');
+let info, loaded = 0, pts = [], step = 0;
+async function init() {
+  info = await (await fetch('/info?step=' + step)).json();
+  document.getElementById('s').max = info.steps - 1;
+  document.getElementById('smax').textContent = info.steps - 1;
+  draw(); load();
+}
+async function load() {
+  const q = document.getElementById('q').value / 100;
+  document.getElementById('qv').textContent = q.toFixed(2);
+  if (q <= loaded) { return; }
+  const r = await fetch('/points?step=' + step + '&prev=' + loaded + '&quality=' + q);
+  const buf = await r.arrayBuffer();
+  const f = new Float32Array(buf);
+  for (let i = 0; i + 2 < f.length; i += 3) pts.push([f[i], f[i+1], f[i+2]]);
+  loaded = q;
+  document.getElementById('n').textContent = pts.length;
+  draw();
+}
+async function changeStep() {
+  step = +document.getElementById('s').value;
+  loaded = 0; pts = [];
+  await init();
+}
+document.getElementById('s').addEventListener('change', changeStep);
+function draw() {
+  if (!info) return;
+  c.fillStyle = '#fff'; c.fillRect(0, 0, 800, 600);
+  const sx = 800 / (info.upper[0] - info.lower[0] || 1);
+  const sy = 600 / (info.upper[2] - info.lower[2] || 1);
+  c.fillStyle = 'rgba(30,60,160,0.5)';
+  for (const p of pts) {
+    const x = (p[0] - info.lower[0]) * sx;
+    const y = 600 - (p[2] - info.lower[2]) * sy;
+    c.fillRect(x, y, 2, 2);
+  }
+}
+document.getElementById('q').addEventListener('change', load);
+init();
+</script>`

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"libbat"
+)
+
+// testServer writes a small dataset and wraps it in a server.
+func testServer(t *testing.T) (*server, int) {
+	t.Helper()
+	store, err := libbat.DirStorage(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks, perRank = 4, 2000
+	err = libbat.Run(ranks, func(c *libbat.Comm) error {
+		r := rand.New(rand.NewSource(int64(c.Rank())))
+		lo := libbat.V3(float64(c.Rank()), 0, 0)
+		local := libbat.NewParticleSet(libbat.NewSchema("val"), perRank)
+		for i := 0; i < perRank; i++ {
+			p := lo.Add(libbat.V3(r.Float64(), r.Float64(), r.Float64()))
+			local.Append(p, []float64{p.X})
+		}
+		_, err := libbat.Write(c, store, "srv", local,
+			libbat.NewBox(lo, lo.Add(libbat.V3(1, 1, 1))), libbat.DefaultWriteConfig(50<<10))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := seriesOf(store, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{store: store, names: names, open: map[int]*libbat.Dataset{}}
+	t.Cleanup(func() {
+		for _, ds := range s.open {
+			ds.Close()
+		}
+	})
+	return s, ranks * perRank
+}
+
+func TestInfoEndpoint(t *testing.T) {
+	s, total := testServer(t)
+	rec := httptest.NewRecorder()
+	s.info(rec, httptest.NewRequest("GET", "/info", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var got struct {
+		Particles int64            `json:"particles"`
+		Files     int              `json:"files"`
+		Lower     []float64        `json:"lower"`
+		Attrs     []map[string]any `json:"attrs"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Particles != int64(total) || got.Files < 1 || len(got.Attrs) != 1 {
+		t.Errorf("info = %+v", got)
+	}
+}
+
+func TestPointsEndpoint(t *testing.T) {
+	s, total := testServer(t)
+	rec := httptest.NewRecorder()
+	s.points(rec, httptest.NewRequest("GET", "/points?quality=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	if len(body) != total*12 {
+		t.Fatalf("body %d bytes, want %d", len(body), total*12)
+	}
+	// First point is a finite float triple.
+	x := math.Float32frombits(binary.LittleEndian.Uint32(body))
+	if math.IsNaN(float64(x)) || x < 0 || x > 4 {
+		t.Errorf("x = %g out of domain", x)
+	}
+}
+
+func TestPointsProgressiveWindow(t *testing.T) {
+	s, total := testServer(t)
+	sizes := 0
+	prev := "0"
+	for _, q := range []string{"0.3", "0.7", "1.0"} {
+		rec := httptest.NewRecorder()
+		s.points(rec, httptest.NewRequest("GET", "/points?prev="+prev+"&quality="+q, nil))
+		body, _ := io.ReadAll(rec.Body)
+		sizes += len(body)
+		prev = q
+	}
+	if sizes != total*12 {
+		t.Errorf("progressive windows returned %d bytes, want %d", sizes, total*12)
+	}
+}
+
+func TestPointsFiltersAndAttr(t *testing.T) {
+	s, _ := testServer(t)
+	// box covering rank 0's cube only, with the extra attribute streamed.
+	rec := httptest.NewRecorder()
+	s.points(rec, httptest.NewRequest("GET", "/points?box=0,0,0,1,1,1&attr=0", nil))
+	body, _ := io.ReadAll(rec.Body)
+	if len(body)%16 != 0 || len(body) == 0 {
+		t.Fatalf("body %d bytes not a multiple of 16", len(body))
+	}
+	n := len(body) / 16
+	if n > 2100 || n < 1900 {
+		t.Errorf("box query returned %d points, expected ~2000", n)
+	}
+	// filter val in [3,4] hits only rank 3's cube.
+	rec = httptest.NewRecorder()
+	s.points(rec, httptest.NewRequest("GET", "/points?filter=0,3,4", nil))
+	body, _ = io.ReadAll(rec.Body)
+	if n := len(body) / 12; n > 2100 || n < 1900 {
+		t.Errorf("filter query returned %d points, expected ~2000", n)
+	}
+}
+
+func TestPointsBadParams(t *testing.T) {
+	s, _ := testServer(t)
+	for _, url := range []string{
+		"/points?quality=abc",
+		"/points?prev=x",
+		"/points?box=1,2,3",
+		"/points?filter=1",
+		"/points?attr=99",
+	} {
+		rec := httptest.NewRecorder()
+		s.points(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 400 {
+			t.Errorf("%s: status %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+func TestPageServed(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.page(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.page(rec, httptest.NewRequest("GET", "/other", nil))
+	if rec.Code != 404 {
+		t.Errorf("non-root path: status %d", rec.Code)
+	}
+}
+
+func TestTimeSeriesServing(t *testing.T) {
+	// Two timesteps under a shared prefix; /info reports the series and
+	// /points?step selects the dataset.
+	store, err := libbat.DirStorage(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step, per := range map[int]int{0: 500, 1: 900} {
+		base := "ts-" + string(rune('0'+step))
+		err := libbat.Run(2, func(c *libbat.Comm) error {
+			lo := libbat.V3(float64(c.Rank()), 0, 0)
+			local := libbat.NewParticleSet(libbat.NewSchema("v"), per)
+			r := rand.New(rand.NewSource(int64(step*10 + c.Rank())))
+			for i := 0; i < per; i++ {
+				local.Append(lo.Add(libbat.V3(r.Float64(), r.Float64(), r.Float64())), []float64{1})
+			}
+			_, err := libbat.Write(c, store, base, local,
+				libbat.NewBox(lo, lo.Add(libbat.V3(1, 1, 1))), libbat.DefaultWriteConfig(1<<20))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := seriesOf(store, "ts-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("series = %v", names)
+	}
+	s := &server{store: store, names: names, open: map[int]*libbat.Dataset{}}
+	for step, want := range map[string]int{"0": 1000, "1": 1800} {
+		rec := httptest.NewRecorder()
+		s.points(rec, httptest.NewRequest("GET", "/points?step="+step, nil))
+		body, _ := io.ReadAll(rec.Body)
+		if len(body) != want*12 {
+			t.Errorf("step %s: %d bytes, want %d", step, len(body), want*12)
+		}
+	}
+	// Out-of-range step.
+	rec := httptest.NewRecorder()
+	s.points(rec, httptest.NewRequest("GET", "/points?step=9", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad step status %d", rec.Code)
+	}
+	// Missing prefix errors.
+	if _, err := seriesOf(store, "nope"); err == nil {
+		t.Error("missing prefix should error")
+	}
+}

@@ -1,0 +1,3 @@
+module libbat
+
+go 1.22

@@ -1,0 +1,466 @@
+// Package aggtree implements the paper's central contribution: the adaptive
+// Aggregation Tree (§III-A). Rank 0 builds a k-d tree over the ranks'
+// spatial bounds so that each leaf holds a similar number of particles.
+// Splits are restricted to rank boundaries (a rank's data is never divided
+// between aggregators), the split minimizing the imbalance cost
+// c = |0.5 - n_l/(n_l+n_r)| is chosen, and leaves are created when a node's
+// data falls below the target file size — optionally allowing "overfull"
+// leaves when no acceptable split exists. Each leaf is assigned to an
+// aggregator rank, spread evenly through the rank space to even out network
+// utilization (paper [39]).
+package aggtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"libbat/internal/geom"
+)
+
+// RankInfo describes one rank's contribution to a write: its spatial bounds
+// in the simulation domain and the number of particles it owns.
+type RankInfo struct {
+	Rank   int
+	Bounds geom.Box
+	Count  int64
+}
+
+// Config controls the tree build.
+type Config struct {
+	// TargetFileSize is the desired output file size in bytes; a node whose
+	// data fits under it becomes a leaf. This is the paper's main tunable:
+	// it trades file count against aggregation network traffic.
+	TargetFileSize int64
+	// BytesPerParticle converts particle counts to data sizes.
+	BytesPerParticle int
+	// AllowOverfull enables overfull leaves: when the best split's balance
+	// ratio is at least SplitCostThreshold and the node's data is within
+	// OverfullFactor of the target, a leaf is created instead of forcing a
+	// badly imbalanced split.
+	AllowOverfull bool
+	// OverfullFactor bounds overfull leaves to OverfullFactor*TargetFileSize
+	// (paper evaluation uses 1.5).
+	OverfullFactor float64
+	// SplitCostThreshold is the balance ratio max(n_l,n_r)/min(n_l,n_r) at
+	// or above which a split is considered bad (paper evaluation uses 4).
+	SplitCostThreshold float64
+	// BestSplitAllAxes searches all three axes for the lowest-cost split
+	// instead of only the longest axis (paper §III-A option).
+	BestSplitAllAxes bool
+	// Parallel enables the top-down parallel build (a task per right
+	// subtree, as the paper does with TBB).
+	Parallel bool
+}
+
+// DefaultConfig returns the configuration used by the paper's evaluation:
+// overfull leaves up to 1.5x the target when the best split has a balance
+// ratio of 4 or higher.
+func DefaultConfig(targetFileSize int64, bytesPerParticle int) Config {
+	return Config{
+		TargetFileSize:     targetFileSize,
+		BytesPerParticle:   bytesPerParticle,
+		AllowOverfull:      true,
+		OverfullFactor:     1.5,
+		SplitCostThreshold: 4,
+		Parallel:           true,
+	}
+}
+
+// Leaf is a set of ranks aggregated into one output file.
+type Leaf struct {
+	// Bounds is the union of the member ranks' bounds.
+	Bounds geom.Box
+	// Ranks lists the member ranks (ascending).
+	Ranks []int
+	// Count is the total number of particles in the leaf.
+	Count int64
+	// Aggregator is the rank assigned to receive and write this leaf.
+	Aggregator int
+	// Overfull records whether the leaf was created by the overfull rule.
+	Overfull bool
+}
+
+// Bytes returns the leaf's data size under the given schema.
+func (l Leaf) Bytes(bytesPerParticle int) int64 {
+	return l.Count * int64(bytesPerParticle)
+}
+
+// Node is an inner node of the flattened aggregation tree. Children with
+// value >= 0 index Nodes; children < 0 encode ^leafIndex.
+type Node struct {
+	Axis        geom.Axis
+	Pos         float64
+	Bounds      geom.Box
+	Left, Right int32
+	Count       int64
+}
+
+// LeafRef encodes a leaf index as a child reference.
+func LeafRef(i int) int32 { return int32(^i) }
+
+// IsLeafRef reports whether a child reference points at a leaf, returning
+// the leaf index.
+func IsLeafRef(c int32) (int, bool) {
+	if c < 0 {
+		return int(^c), true
+	}
+	return 0, false
+}
+
+// Tree is the flattened adaptive aggregation tree. Node 0 is the root when
+// Nodes is non-empty; a tree with a single leaf has no inner nodes.
+type Tree struct {
+	Nodes  []Node
+	Leaves []Leaf
+	// Domain is the union of all particle-owning ranks' bounds.
+	Domain geom.Box
+}
+
+// buildNode is the pointer-based node used during construction.
+type buildNode struct {
+	axis        geom.Axis
+	pos         float64
+	bounds      geom.Box
+	count       int64
+	left, right *buildNode
+	leaf        *Leaf
+}
+
+// Build constructs the aggregation tree from per-rank particle counts and
+// bounds. Ranks with zero particles are excluded (their transfer is skipped
+// during aggregation). The returned tree has at least one leaf if any rank
+// has particles.
+func Build(ranks []RankInfo, cfg Config) (*Tree, error) {
+	if cfg.TargetFileSize <= 0 {
+		return nil, fmt.Errorf("aggtree: target file size must be positive, got %d", cfg.TargetFileSize)
+	}
+	if cfg.BytesPerParticle <= 0 {
+		return nil, fmt.Errorf("aggtree: bytes per particle must be positive, got %d", cfg.BytesPerParticle)
+	}
+	active := make([]RankInfo, 0, len(ranks))
+	domain := geom.EmptyBox()
+	for _, r := range ranks {
+		if r.Count > 0 {
+			active = append(active, r)
+			domain = domain.Union(r.Bounds)
+		}
+	}
+	t := &Tree{Domain: domain}
+	if len(active) == 0 {
+		return t, nil
+	}
+	root := buildRec(active, cfg, 0)
+	t.flatten(root)
+	return t, nil
+}
+
+// totalCount sums the particle counts of a rank set.
+func totalCount(ranks []RankInfo) int64 {
+	var n int64
+	for _, r := range ranks {
+		n += r.Count
+	}
+	return n
+}
+
+// unionBounds returns the union of the ranks' bounds.
+func unionBounds(ranks []RankInfo) geom.Box {
+	b := geom.EmptyBox()
+	for _, r := range ranks {
+		b = b.Union(r.Bounds)
+	}
+	return b
+}
+
+// splitResult captures one evaluated candidate split.
+type splitResult struct {
+	axis   geom.Axis
+	pos    float64
+	cost   float64 // |0.5 - n_l/(n_l+n_r)|
+	ratio  float64 // max(n_l,n_r)/min(n_l,n_r); +Inf when a side is empty
+	nl, nr int64
+	ok     bool
+}
+
+// evaluateAxis finds the best candidate split along one axis. Candidates are
+// the unique edges of each rank's bounds along the axis; a rank falls left
+// when its center is below the split position, so no rank's data is divided.
+func evaluateAxis(ranks []RankInfo, axis geom.Axis) splitResult {
+	edges := make([]float64, 0, 2*len(ranks))
+	for _, r := range ranks {
+		edges = append(edges, r.Bounds.Lower.Component(axis), r.Bounds.Upper.Component(axis))
+	}
+	sort.Float64s(edges)
+	// Deduplicate.
+	uniq := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	best := splitResult{axis: axis, cost: math.Inf(1), ratio: math.Inf(1)}
+	for _, pos := range uniq {
+		var nl, nr int64
+		var leftRanks, rightRanks int
+		for _, r := range ranks {
+			if r.Bounds.Center().Component(axis) < pos {
+				nl += r.Count
+				leftRanks++
+			} else {
+				nr += r.Count
+				rightRanks++
+			}
+		}
+		if leftRanks == 0 || rightRanks == 0 {
+			continue // split separates nothing
+		}
+		cost := math.Abs(0.5 - float64(nl)/float64(nl+nr))
+		if cost < best.cost {
+			ratio := math.Inf(1)
+			if nl > 0 && nr > 0 {
+				ratio = float64(max64(nl, nr)) / float64(min64(nl, nr))
+			}
+			best = splitResult{axis: axis, pos: pos, cost: cost, ratio: ratio, nl: nl, nr: nr, ok: true}
+		}
+	}
+	return best
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// parallelDepth bounds goroutine spawning during the parallel build.
+const parallelDepth = 6
+
+func buildRec(ranks []RankInfo, cfg Config, depth int) *buildNode {
+	count := totalCount(ranks)
+	bytes := count * int64(cfg.BytesPerParticle)
+	bounds := unionBounds(ranks)
+	makeLeaf := func(overfull bool) *buildNode {
+		ids := make([]int, len(ranks))
+		for i, r := range ranks {
+			ids[i] = r.Rank
+		}
+		sort.Ints(ids)
+		return &buildNode{
+			bounds: bounds,
+			count:  count,
+			leaf:   &Leaf{Bounds: bounds, Ranks: ids, Count: count, Overfull: overfull},
+		}
+	}
+	if bytes <= cfg.TargetFileSize || len(ranks) == 1 {
+		return makeLeaf(false)
+	}
+	// Find the best split: longest axis by default, all axes optionally.
+	// If the preferred axis has no separating rank edge (e.g. a 1D rank
+	// decomposition whose longest aggregate axis is unpartitioned), fall
+	// back to the remaining axes rather than giving up.
+	best := evaluateAxis(ranks, bounds.LongestAxis())
+	for _, axis := range []geom.Axis{geom.X, geom.Y, geom.Z} {
+		if axis == bounds.LongestAxis() {
+			continue
+		}
+		if !cfg.BestSplitAllAxes && best.ok {
+			break
+		}
+		if s := evaluateAxis(ranks, axis); s.ok && (!best.ok || s.cost < best.cost) {
+			best = s
+		}
+	}
+	if !best.ok {
+		// No split separates the ranks (e.g. identical bounds); aggregate
+		// them together even though the target is exceeded.
+		return makeLeaf(true)
+	}
+	// Overfull rule: avoid forcing an extremely imbalanced split when the
+	// node is already close to the target size.
+	if cfg.AllowOverfull &&
+		best.ratio >= cfg.SplitCostThreshold &&
+		float64(bytes) <= cfg.OverfullFactor*float64(cfg.TargetFileSize) {
+		return makeLeaf(true)
+	}
+	var left, right []RankInfo
+	for _, r := range ranks {
+		if r.Bounds.Center().Component(best.axis) < best.pos {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	n := &buildNode{axis: best.axis, pos: best.pos, bounds: bounds, count: count}
+	if cfg.Parallel && depth < parallelDepth {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.right = buildRec(right, cfg, depth+1)
+		}()
+		n.left = buildRec(left, cfg, depth+1)
+		wg.Wait()
+	} else {
+		n.left = buildRec(left, cfg, depth+1)
+		n.right = buildRec(right, cfg, depth+1)
+	}
+	return n
+}
+
+// flatten converts the pointer tree to the index-based representation,
+// assigning leaf indices in depth-first (left-to-right spatial) order.
+func (t *Tree) flatten(root *buildNode) {
+	if root.leaf != nil {
+		t.Leaves = append(t.Leaves, *root.leaf)
+		return
+	}
+	// Depth-first layout with the root at index 0.
+	var rec func(n *buildNode) int32
+	rec = func(n *buildNode) int32 {
+		if n.leaf != nil {
+			idx := len(t.Leaves)
+			t.Leaves = append(t.Leaves, *n.leaf)
+			return LeafRef(idx)
+		}
+		me := len(t.Nodes)
+		t.Nodes = append(t.Nodes, Node{Axis: n.axis, Pos: n.pos, Bounds: n.bounds, Count: n.count})
+		l := rec(n.left)
+		r := rec(n.right)
+		t.Nodes[me].Left = l
+		t.Nodes[me].Right = r
+		return int32(me)
+	}
+	rec(root)
+}
+
+// NumLeaves returns the number of output files the tree describes.
+func (t *Tree) NumLeaves() int { return len(t.Leaves) }
+
+// TotalCount returns the total number of particles across all leaves.
+func (t *Tree) TotalCount() int64 {
+	var n int64
+	for _, l := range t.Leaves {
+		n += l.Count
+	}
+	return n
+}
+
+// AssignAggregators assigns each leaf to an aggregator rank, distributing
+// assignments evenly across the rank space [0, worldSize), and returns the
+// per-rank view: agg[r] is the aggregator rank r must send its data to, or
+// -1 if rank r owns no particles.
+func (t *Tree) AssignAggregators(worldSize int) []int {
+	return AssignAggregators(t.Leaves, worldSize)
+}
+
+// AssignAggregators assigns each leaf in the slice to an aggregator rank,
+// spreading assignments evenly across the rank space (shared by the
+// adaptive tree and the AUG baseline so both are compared under the same
+// aggregator placement policy). It mutates the leaves' Aggregator fields
+// and returns the per-rank aggregator view (-1 for ranks without
+// particles).
+func AssignAggregators(leaves []Leaf, worldSize int) []int {
+	agg := make([]int, worldSize)
+	for i := range agg {
+		agg[i] = -1
+	}
+	n := len(leaves)
+	for i := range leaves {
+		// Spread leaf i's aggregator evenly through the rank space.
+		leaves[i].Aggregator = i * worldSize / n
+		for _, r := range leaves[i].Ranks {
+			agg[r] = leaves[i].Aggregator
+		}
+	}
+	return agg
+}
+
+// QueryOverlapping appends to out the indices of all leaves whose bounds
+// overlap the query box, and returns out.
+func (t *Tree) QueryOverlapping(q geom.Box, out []int) []int {
+	if len(t.Leaves) == 0 {
+		return out
+	}
+	if len(t.Nodes) == 0 {
+		if t.Leaves[0].Bounds.Overlaps(q) {
+			out = append(out, 0)
+		}
+		return out
+	}
+	var rec func(ref int32)
+	rec = func(ref int32) {
+		if li, ok := IsLeafRef(ref); ok {
+			if t.Leaves[li].Bounds.Overlaps(q) {
+				out = append(out, li)
+			}
+			return
+		}
+		n := &t.Nodes[ref]
+		if !n.Bounds.Overlaps(q) {
+			return
+		}
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(0)
+	return out
+}
+
+// LeafOfRank returns the index of the leaf containing the given rank, or -1.
+func (t *Tree) LeafOfRank(rank int) int {
+	for i, l := range t.Leaves {
+		for _, r := range l.Ranks {
+			if r == rank {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// SizeStats summarizes leaf data sizes for the §VI-A.2 file statistics.
+type SizeStats struct {
+	NumFiles int
+	MeanB    float64
+	StddevB  float64
+	MaxB     int64
+	MinB     int64
+}
+
+// LeafSizeStats computes output file size statistics under the schema.
+func LeafSizeStats(leaves []Leaf, bytesPerParticle int) SizeStats {
+	s := SizeStats{NumFiles: len(leaves)}
+	if len(leaves) == 0 {
+		return s
+	}
+	s.MinB = math.MaxInt64
+	var sum, sumSq float64
+	for _, l := range leaves {
+		b := l.Bytes(bytesPerParticle)
+		sum += float64(b)
+		sumSq += float64(b) * float64(b)
+		if b > s.MaxB {
+			s.MaxB = b
+		}
+		if b < s.MinB {
+			s.MinB = b
+		}
+	}
+	n := float64(len(leaves))
+	s.MeanB = sum / n
+	variance := sumSq/n - s.MeanB*s.MeanB
+	if variance > 0 {
+		s.StddevB = math.Sqrt(variance)
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+// Package aug implements the Adjustable Uniform Grid aggregation strategy
+// of Kumar et al. [27], the prior state of the art the paper compares
+// against (§VI-A.2). The grid is sized from the target file size assuming a
+// uniform particle distribution, adjusted (resized) to fit the data bounds,
+// and empty grid cells are discarded. Because cell geometry ignores the
+// actual particle distribution, nonuniform data produces imbalanced
+// aggregation groups — the weakness the adaptive tree addresses.
+package aug
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"libbat/internal/aggtree"
+	"libbat/internal/geom"
+)
+
+// Config controls the grid construction.
+type Config struct {
+	// TargetFileSize is the desired output file size in bytes; the grid
+	// resolution is chosen so a cell holds about this much data under a
+	// uniform distribution.
+	TargetFileSize int64
+	// BytesPerParticle converts particle counts to data sizes.
+	BytesPerParticle int
+}
+
+// GridDims returns the grid resolution chosen for the given domain and
+// desired number of cells: per-axis counts proportional to the domain's
+// aspect ratio whose product is at least want.
+func GridDims(domain geom.Box, want int) (gx, gy, gz int) {
+	if want < 1 {
+		want = 1
+	}
+	s := domain.Size()
+	// Degenerate axes get a single cell.
+	sx, sy, sz := math.Max(s.X, 1e-12), math.Max(s.Y, 1e-12), math.Max(s.Z, 1e-12)
+	scale := math.Cbrt(float64(want) / (sx * sy * sz))
+	dim := func(extent float64) int {
+		d := int(math.Round(extent * scale))
+		if d < 1 {
+			return 1
+		}
+		return d
+	}
+	gx, gy, gz = dim(sx), dim(sy), dim(sz)
+	// Grow the largest axis until the cell count reaches the request.
+	for gx*gy*gz < want {
+		switch {
+		case sx/float64(gx) >= sy/float64(gy) && sx/float64(gx) >= sz/float64(gz):
+			gx++
+		case sy/float64(gy) >= sz/float64(gz):
+			gy++
+		default:
+			gz++
+		}
+	}
+	return gx, gy, gz
+}
+
+// Build groups ranks into aggregation leaves using the adjustable uniform
+// grid: the domain is fit to the union of the particle-owning ranks'
+// bounds, divided into approximately totalBytes/target cells, each rank is
+// binned to the cell containing its bounds' center, and empty cells are
+// discarded. The returned leaves are ordered by cell index (z-major).
+func Build(ranks []aggtree.RankInfo, cfg Config) ([]aggtree.Leaf, error) {
+	if cfg.TargetFileSize <= 0 {
+		return nil, fmt.Errorf("aug: target file size must be positive, got %d", cfg.TargetFileSize)
+	}
+	if cfg.BytesPerParticle <= 0 {
+		return nil, fmt.Errorf("aug: bytes per particle must be positive, got %d", cfg.BytesPerParticle)
+	}
+	domain := geom.EmptyBox()
+	var total int64
+	for _, r := range ranks {
+		if r.Count > 0 {
+			domain = domain.Union(r.Bounds)
+			total += r.Count
+		}
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	totalBytes := total * int64(cfg.BytesPerParticle)
+	want := int((totalBytes + cfg.TargetFileSize - 1) / cfg.TargetFileSize)
+	gx, gy, gz := GridDims(domain, want)
+
+	type cell struct {
+		bounds geom.Box
+		ranks  []int
+		count  int64
+	}
+	cells := make(map[int]*cell)
+	size := domain.Size()
+	bin := func(v, lo, extent float64, g int) int {
+		if extent <= 0 {
+			return 0
+		}
+		i := int((v - lo) / extent * float64(g))
+		if i < 0 {
+			return 0
+		}
+		if i >= g {
+			return g - 1
+		}
+		return i
+	}
+	for _, r := range ranks {
+		if r.Count == 0 {
+			continue
+		}
+		c := r.Bounds.Center()
+		ix := bin(c.X, domain.Lower.X, size.X, gx)
+		iy := bin(c.Y, domain.Lower.Y, size.Y, gy)
+		iz := bin(c.Z, domain.Lower.Z, size.Z, gz)
+		key := (iz*gy+iy)*gx + ix
+		cl := cells[key]
+		if cl == nil {
+			cl = &cell{bounds: geom.EmptyBox()}
+			cells[key] = cl
+		}
+		cl.bounds = cl.bounds.Union(r.Bounds)
+		cl.ranks = append(cl.ranks, r.Rank)
+		cl.count += r.Count
+	}
+	keys := make([]int, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	leaves := make([]aggtree.Leaf, 0, len(keys))
+	for _, k := range keys {
+		cl := cells[k]
+		sort.Ints(cl.ranks)
+		leaves = append(leaves, aggtree.Leaf{
+			Bounds: cl.bounds,
+			Ranks:  cl.ranks,
+			Count:  cl.count,
+		})
+	}
+	return leaves, nil
+}

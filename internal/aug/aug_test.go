@@ -1,0 +1,187 @@
+package aug
+
+import (
+	"testing"
+
+	"libbat/internal/aggtree"
+	"libbat/internal/geom"
+)
+
+const bpp = 12 + 4*8
+
+func gridRanks(nx, ny, nz int, count func(ix, iy, iz int) int64) []aggtree.RankInfo {
+	ranks := make([]aggtree.RankInfo, 0, nx*ny*nz)
+	id := 0
+	for iz := 0; iz < nz; iz++ {
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				lo := geom.V3(float64(ix)/float64(nx), float64(iy)/float64(ny), float64(iz)/float64(nz))
+				hi := geom.V3(float64(ix+1)/float64(nx), float64(iy+1)/float64(ny), float64(iz+1)/float64(nz))
+				ranks = append(ranks, aggtree.RankInfo{Rank: id, Bounds: geom.NewBox(lo, hi), Count: count(ix, iy, iz)})
+				id++
+			}
+		}
+	}
+	return ranks
+}
+
+func TestBuildValidates(t *testing.T) {
+	ranks := gridRanks(2, 2, 2, func(_, _, _ int) int64 { return 10 })
+	if _, err := Build(ranks, Config{TargetFileSize: 0, BytesPerParticle: bpp}); err == nil {
+		t.Error("zero target should error")
+	}
+	if _, err := Build(ranks, Config{TargetFileSize: 10, BytesPerParticle: 0}); err == nil {
+		t.Error("zero bpp should error")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	leaves, err := Build(nil, Config{TargetFileSize: 100, BytesPerParticle: bpp})
+	if err != nil || len(leaves) != 0 {
+		t.Errorf("empty build: %v, %d leaves", err, len(leaves))
+	}
+}
+
+func TestGridDims(t *testing.T) {
+	cube := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	gx, gy, gz := GridDims(cube, 8)
+	if gx*gy*gz < 8 {
+		t.Errorf("dims %dx%dx%d < 8 cells", gx, gy, gz)
+	}
+	if gx != gy || gy != gz {
+		t.Errorf("cube should get a cubic grid, got %dx%dx%d", gx, gy, gz)
+	}
+	// Elongated domain gets more cells along the long axis.
+	slab := geom.NewBox(geom.V3(0, 0, 0), geom.V3(8, 1, 1))
+	gx, gy, gz = GridDims(slab, 8)
+	if gx <= gy || gx <= gz {
+		t.Errorf("slab grid should favor x: %dx%dx%d", gx, gy, gz)
+	}
+	// Want < 1 clamps.
+	gx, gy, gz = GridDims(cube, 0)
+	if gx*gy*gz < 1 {
+		t.Error("zero want broke dims")
+	}
+	// Degenerate (flat) domain still works.
+	flat := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 0))
+	gx, gy, gz = GridDims(flat, 4)
+	if gx*gy*gz < 4 {
+		t.Errorf("flat domain dims %dx%dx%d", gx, gy, gz)
+	}
+}
+
+func TestPartitionInvariant(t *testing.T) {
+	ranks := gridRanks(4, 4, 4, func(ix, iy, iz int) int64 { return int64(1 + ix + iy*2 + iz*3) })
+	var total int64
+	for _, r := range ranks {
+		total += r.Count
+	}
+	leaves, err := Build(ranks, Config{TargetFileSize: total * bpp / 8, BytesPerParticle: bpp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	var sum int64
+	for _, l := range leaves {
+		for _, r := range l.Ranks {
+			if seen[r] {
+				t.Fatalf("rank %d in two leaves", r)
+			}
+			seen[r] = true
+		}
+		sum += l.Count
+	}
+	if sum != total {
+		t.Errorf("leaf counts sum %d != total %d", sum, total)
+	}
+	if len(seen) != len(ranks) {
+		t.Errorf("%d ranks assigned of %d", len(seen), len(ranks))
+	}
+}
+
+func TestEmptyCellsDiscarded(t *testing.T) {
+	// Particles only in one corner: most grid cells are empty and must
+	// not appear as leaves.
+	ranks := gridRanks(4, 4, 4, func(ix, iy, iz int) int64 {
+		if ix == 0 && iy == 0 && iz == 0 {
+			return 1000
+		}
+		return 0
+	})
+	leaves, err := Build(ranks, Config{TargetFileSize: 100 * bpp, BytesPerParticle: bpp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 1 {
+		t.Fatalf("want 1 nonempty leaf, got %d", len(leaves))
+	}
+	if leaves[0].Count != 1000 || len(leaves[0].Ranks) != 1 {
+		t.Errorf("leaf = %+v", leaves[0])
+	}
+}
+
+func TestAUGImbalanceVsAdaptive(t *testing.T) {
+	// The motivating comparison: on a strongly nonuniform distribution the
+	// AUG grid produces a larger maximum leaf than the adaptive tree at
+	// the same target size.
+	ranks := gridRanks(8, 8, 1, func(ix, iy, _ int) int64 {
+		if ix < 2 && iy < 2 {
+			return 50000
+		}
+		return 100
+	})
+	var total int64
+	for _, r := range ranks {
+		total += r.Count
+	}
+	target := total * bpp / 16
+	augLeaves, err := Build(ranks, Config{TargetFileSize: target, BytesPerParticle: bpp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := aggtree.Build(ranks, aggtree.DefaultConfig(target, bpp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	augStats := aggtree.LeafSizeStats(augLeaves, bpp)
+	adStats := aggtree.LeafSizeStats(tr.Leaves, bpp)
+	if augStats.MaxB <= adStats.MaxB {
+		t.Errorf("expected AUG max leaf > adaptive: aug %+v adaptive %+v", augStats, adStats)
+	}
+}
+
+func TestAggregatorAssignmentSharing(t *testing.T) {
+	ranks := gridRanks(4, 4, 1, func(_, _, _ int) int64 { return 500 })
+	leaves, err := Build(ranks, Config{TargetFileSize: 1000 * bpp, BytesPerParticle: bpp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := aggtree.AssignAggregators(leaves, 16)
+	for _, l := range leaves {
+		for _, r := range l.Ranks {
+			if agg[r] != l.Aggregator {
+				t.Fatalf("rank %d aggregator mismatch", r)
+			}
+		}
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	ranks := gridRanks(4, 4, 2, func(ix, iy, iz int) int64 { return int64(ix + iy + iz + 1) })
+	a, err := Build(ranks, Config{TargetFileSize: 10 * bpp, BytesPerParticle: bpp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(ranks, Config{TargetFileSize: 10 * bpp, BytesPerParticle: bpp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic leaf count")
+	}
+	for i := range a {
+		if a[i].Count != b[i].Count || len(a[i].Ranks) != len(b[i].Ranks) {
+			t.Fatalf("leaf %d differs between runs", i)
+		}
+	}
+}

@@ -1,0 +1,992 @@
+package bat
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"libbat/internal/geom"
+	"libbat/internal/particles"
+)
+
+// randomSet builds a particle set with two attributes: "mass" correlated
+// with x (spatially coherent, as the bitmaps assume) and "id" increasing.
+func randomSet(n int, seed int64) (*particles.Set, geom.Box) {
+	r := rand.New(rand.NewSource(seed))
+	s := particles.NewSet(particles.NewSchema("mass", "id"), n)
+	for i := 0; i < n; i++ {
+		p := geom.V3(r.Float64(), r.Float64(), r.Float64())
+		s.Append(p, []float64{p.X*100 + r.Float64(), float64(i)})
+	}
+	return s, geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+}
+
+// clusteredSet builds a strongly nonuniform set: 80% of particles in a
+// small corner cluster.
+func clusteredSet(n int, seed int64) (*particles.Set, geom.Box) {
+	r := rand.New(rand.NewSource(seed))
+	s := particles.NewSet(particles.NewSchema("temp"), n)
+	for i := 0; i < n; i++ {
+		var p geom.Vec3
+		if i%5 != 0 {
+			p = geom.V3(r.Float64()*0.1, r.Float64()*0.1, r.Float64()*0.1)
+		} else {
+			p = geom.V3(r.Float64(), r.Float64(), r.Float64())
+		}
+		s.Append(p, []float64{p.Length() * 10})
+	}
+	return s, geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+}
+
+func buildAndOpen(t *testing.T, s *particles.Set, domain geom.Box, cfg BuildConfig) (*File, *Built) {
+	t.Helper()
+	b, err := Build(s, domain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FromBuffer(b.Buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, b
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	s, domain := randomSet(10, 1)
+	for _, cfg := range []BuildConfig{
+		{SubprefixBits: 0, LODPerNode: 8, MaxLeafSize: 128},
+		{SubprefixBits: 999, LODPerNode: 8, MaxLeafSize: 128},
+		{SubprefixBits: 12, LODPerNode: 0, MaxLeafSize: 128},
+		{SubprefixBits: 12, LODPerNode: 8, MaxLeafSize: 0},
+	} {
+		if _, err := Build(s, domain, cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+func TestRoundTripAllParticles(t *testing.T) {
+	s, domain := randomSet(5000, 2)
+	f, b := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	if f.NumParticles != 5000 {
+		t.Fatalf("NumParticles = %d", f.NumParticles)
+	}
+	if b.Stats.NumParticles != 5000 {
+		t.Fatalf("stats particles = %d", b.Stats.NumParticles)
+	}
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 5000 {
+		t.Fatalf("ReadAll returned %d particles", got.Len())
+	}
+	// Every original particle must come back exactly once: match on the
+	// unique "id" attribute.
+	seen := make(map[float64]geom.Vec3, 5000)
+	for i := 0; i < got.Len(); i++ {
+		id := got.Attrs[1][i]
+		if _, dup := seen[id]; dup {
+			t.Fatalf("particle id %v returned twice", id)
+		}
+		seen[id] = got.Position(i)
+	}
+	for i := 0; i < s.Len(); i++ {
+		p, ok := seen[s.Attrs[1][i]]
+		if !ok {
+			t.Fatalf("particle %d missing", i)
+		}
+		if p != s.Position(i) {
+			t.Fatalf("particle %d position %v != %v", i, p, s.Position(i))
+		}
+	}
+}
+
+func TestSchemaAndRangesRoundTrip(t *testing.T) {
+	s, domain := randomSet(500, 3)
+	f, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	if !f.Schema.Equal(s.Schema) {
+		t.Errorf("schema mismatch: %+v", f.Schema)
+	}
+	for a := 0; a < s.Schema.NumAttrs(); a++ {
+		want := s.AttrRange(a)
+		if f.Ranges[a] != want {
+			t.Errorf("attr %d range %+v != %+v", a, f.Ranges[a], want)
+		}
+	}
+	// Subprefix auto-reduces for small sets; the rest round-trips exactly.
+	if f.SubprefixBits < 1 || f.SubprefixBits > 12 || f.LODPerNode != 8 || f.MaxLeafSize != 128 {
+		t.Errorf("config fields wrong: subprefix=%d lod=%d leaf=%d",
+			f.SubprefixBits, f.LODPerNode, f.MaxLeafSize)
+	}
+	// With FixedSubprefix the configured width is used verbatim.
+	small, smallDomain := randomSet(500, 33)
+	cfg := DefaultBuildConfig()
+	cfg.FixedSubprefix = true
+	bb, err := Build(small, smallDomain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := FromBuffer(bb.Buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.SubprefixBits != 12 {
+		t.Errorf("fixed subprefix = %d, want 12", bf.SubprefixBits)
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	s := particles.NewSet(particles.NewSchema("a"), 0)
+	domain := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	f, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	got, err := f.ReadAll()
+	if err != nil || got.Len() != 0 {
+		t.Errorf("empty file read: %v, %d particles", err, got.Len())
+	}
+}
+
+func TestSingleParticle(t *testing.T) {
+	s := particles.NewSet(particles.NewSchema("a"), 1)
+	s.Append(geom.V3(0.5, 0.5, 0.5), []float64{42})
+	domain := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	f, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	got, err := f.ReadAll()
+	if err != nil || got.Len() != 1 || got.Attrs[0][0] != 42 {
+		t.Errorf("single particle read failed: %v %d", err, got.Len())
+	}
+}
+
+func TestSpatialQueryMatchesBruteForce(t *testing.T) {
+	s, domain := clusteredSet(8000, 4)
+	cfg := DefaultBuildConfig()
+	cfg.MaxLeafSize = 32 // deeper trees exercise more traversal
+	f, _ := buildAndOpen(t, s, domain, cfg)
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		lo := geom.V3(r.Float64(), r.Float64(), r.Float64())
+		q := geom.NewBox(lo, lo.Add(geom.V3(r.Float64()*0.4, r.Float64()*0.4, r.Float64()*0.4)))
+		var want int
+		for i := 0; i < s.Len(); i++ {
+			if q.Contains(s.Position(i)) {
+				want++
+			}
+		}
+		got, err := f.CountMatching(Query{Bounds: &q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(got) != want {
+			t.Fatalf("trial %d: spatial query returned %d, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func TestAttributeQueryMatchesBruteForce(t *testing.T) {
+	s, domain := randomSet(6000, 5)
+	f, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		lo := r.Float64() * 100
+		hi := lo + r.Float64()*30
+		var want int
+		for i := 0; i < s.Len(); i++ {
+			if v := s.Attrs[0][i]; v >= lo && v <= hi {
+				want++
+			}
+		}
+		got, err := f.CountMatching(Query{Filters: []AttrFilter{{Attr: 0, Min: lo, Max: hi}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(got) != want {
+			t.Fatalf("trial %d: attr query [%g,%g] returned %d, want %d", trial, lo, hi, got, want)
+		}
+	}
+}
+
+func TestCombinedQueryMatchesBruteForce(t *testing.T) {
+	s, domain := randomSet(5000, 6)
+	f, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	box := geom.NewBox(geom.V3(0.2, 0.2, 0.2), geom.V3(0.8, 0.8, 0.8))
+	var want int
+	for i := 0; i < s.Len(); i++ {
+		v := s.Attrs[0][i]
+		if box.Contains(s.Position(i)) && v >= 20 && v <= 60 {
+			want++
+		}
+	}
+	got, err := f.CountMatching(Query{
+		Bounds:  &box,
+		Filters: []AttrFilter{{Attr: 0, Min: 20, Max: 60}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(got) != want {
+		t.Fatalf("combined query returned %d, want %d", got, want)
+	}
+}
+
+func TestFilterOutsideLocalRange(t *testing.T) {
+	s, domain := randomSet(1000, 8)
+	f, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	got, err := f.CountMatching(Query{Filters: []AttrFilter{{Attr: 0, Min: 1e9, Max: 2e9}}})
+	if err != nil || got != 0 {
+		t.Errorf("out-of-range filter returned %d, err %v", got, err)
+	}
+	// Invalid attribute index matches nothing rather than panicking.
+	got, err = f.CountMatching(Query{Filters: []AttrFilter{{Attr: 99, Min: 0, Max: 1}}})
+	if err != nil || got != 0 {
+		t.Errorf("bad attr filter returned %d, err %v", got, err)
+	}
+}
+
+func TestProgressiveTilesExactly(t *testing.T) {
+	// Reading in quality steps 0->0.1->...->1.0 must visit every particle
+	// exactly once (the paper's Table I/II access pattern).
+	s, domain := clusteredSet(4000, 9)
+	f, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	counts := map[float64]int{}
+	prev := 0.0
+	for step := 1; step <= 10; step++ {
+		qual := float64(step) / 10
+		err := f.Query(Query{PrevQuality: prev, Quality: qual}, func(p geom.Vec3, attrs []float64) error {
+			counts[attrs[0]]++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = qual
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != s.Len() {
+		t.Fatalf("progressive read visited %d points total, want %d", total, s.Len())
+	}
+	// No value should be visited more than its multiplicity in the data.
+	valMult := map[float64]int{}
+	for _, v := range s.Attrs[0] {
+		valMult[v]++
+	}
+	for v, c := range counts {
+		if c != valMult[v] {
+			t.Fatalf("value %v visited %d times, multiplicity %d", v, c, valMult[v])
+		}
+	}
+}
+
+func TestProgressiveMonotonicCounts(t *testing.T) {
+	s, domain := randomSet(4000, 10)
+	f, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	prevCount := int64(0)
+	for step := 1; step <= 10; step++ {
+		qual := float64(step) / 10
+		got, err := f.CountMatching(Query{Quality: qual})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prevCount {
+			t.Fatalf("quality %.1f returned %d < previous %d", qual, got, prevCount)
+		}
+		prevCount = got
+	}
+	if prevCount != int64(s.Len()) {
+		t.Fatalf("quality 1.0 returned %d, want %d", prevCount, s.Len())
+	}
+	// Coarse read returns a strict subset.
+	coarse, err := f.CountMatching(Query{Quality: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse == 0 || coarse >= int64(s.Len()) {
+		t.Errorf("quality 0.1 returned %d of %d", coarse, s.Len())
+	}
+}
+
+func TestQualityToDepth(t *testing.T) {
+	d, frac := qualityToDepth(0, 10)
+	if d != 0 || frac != 0 {
+		t.Errorf("q=0 -> %d %g", d, frac)
+	}
+	d, frac = qualityToDepth(1, 10)
+	if d != 10 || frac != 1 {
+		t.Errorf("q=1 -> %d %g", d, frac)
+	}
+	// Monotone in q.
+	lastD, lastF := 0, 0.0
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		d, frac = qualityToDepth(q, 10)
+		if d < lastD || (d == lastD && frac < lastF) {
+			t.Fatalf("qualityToDepth not monotone at %g", q)
+		}
+		lastD, lastF = d, frac
+	}
+}
+
+func TestVisitorErrorAborts(t *testing.T) {
+	s, domain := randomSet(1000, 11)
+	f, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	sentinel := os.ErrClosed
+	n := 0
+	err := f.Query(Query{}, func(geom.Vec3, []float64) error {
+		n++
+		if n == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("visited %d after abort", n)
+	}
+}
+
+func TestFileOnDisk(t *testing.T) {
+	s, domain := randomSet(3000, 12)
+	b, err := Build(s, domain, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "test.bat")
+	if err := os.WriteFile(path, b.Buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.ReadAll()
+	if err != nil || got.Len() != 3000 {
+		t.Fatalf("disk read: %v, %d particles", err, got.Len())
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.bat")); err == nil {
+		t.Error("missing file should error")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.bat")
+	os.WriteFile(path, []byte("not a bat file at all"), 0o644)
+	if _, err := Open(path); err == nil {
+		t.Error("garbage file should error")
+	}
+	// Truncated valid file.
+	s, domain := randomSet(1000, 13)
+	b, _ := Build(s, domain, DefaultBuildConfig())
+	path = filepath.Join(t.TempDir(), "trunc.bat")
+	os.WriteFile(path, b.Buf[:len(b.Buf)/2], 0o644)
+	f, err := Open(path)
+	if err == nil {
+		// Header may parse; the treelet read must fail.
+		_, err = f.ReadAll()
+		f.Close()
+	}
+	if err == nil {
+		t.Error("truncated file should error somewhere")
+	}
+}
+
+func TestTreeletPageAlignment(t *testing.T) {
+	s, domain := clusteredSet(20000, 14)
+	f, b := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	if f.NumTreelets() < 2 {
+		t.Skip("need multiple treelets")
+	}
+	for i, l := range f.leaves {
+		if l.offset%PageSize != 0 {
+			t.Errorf("treelet %d at offset %d not page aligned", i, l.offset)
+		}
+	}
+	if b.Stats.PaddingBytes <= 0 {
+		t.Error("expected nonzero padding")
+	}
+}
+
+func TestStorageOverheadSmall(t *testing.T) {
+	// Paper §VI-B: ~0.9% overhead. With a realistic schema (7 doubles)
+	// and enough particles, ours should be a few percent at most.
+	r := rand.New(rand.NewSource(15))
+	s := particles.NewSet(particles.UniformSchema(7), 200000)
+	for i := 0; i < 200000; i++ {
+		p := geom.V3(r.Float64(), r.Float64(), r.Float64())
+		s.Append(p, []float64{p.X, p.Y, p.Z, p.X * p.Y, r.Float64(), r.NormFloat64(), float64(i)})
+	}
+	domain := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	b, err := Build(s, domain, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := b.Stats.OverheadFraction()
+	if over < 0 || over > 0.05 {
+		t.Errorf("overhead = %.2f%%, want < 5%% (stats %+v)", over*100, b.Stats)
+	}
+}
+
+func TestLODSubsetInvariant(t *testing.T) {
+	// A coarse read's points must be a subset of the full data (no
+	// representative/duplicated particles; paper §III-C2).
+	s, domain := randomSet(3000, 16)
+	f, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	all := map[float64]bool{}
+	for _, v := range s.Attrs[1] {
+		all[v] = true
+	}
+	err := f.Query(Query{Quality: 0.3}, func(p geom.Vec3, attrs []float64) error {
+		if !all[attrs[1]] {
+			t.Fatal("LOD read returned a particle not in the input")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLODSpatialCoverage(t *testing.T) {
+	// Stratified sampling: a coarse read of a uniform distribution should
+	// cover all octants of the domain.
+	s, domain := randomSet(8000, 17)
+	f, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	var octants [8]int
+	err := f.Query(Query{Quality: 0.05}, func(p geom.Vec3, _ []float64) error {
+		oct := 0
+		if p.X > 0.5 {
+			oct |= 1
+		}
+		if p.Y > 0.5 {
+			oct |= 2
+		}
+		if p.Z > 0.5 {
+			oct |= 4
+		}
+		octants[oct]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range octants {
+		if c == 0 {
+			t.Errorf("octant %d empty in coarse read: %v", i, octants)
+		}
+	}
+}
+
+func TestStratifiedSample(t *testing.T) {
+	pts := make([]int, 100)
+	for i := range pts {
+		pts[i] = i
+	}
+	lod, rest := stratifiedSample(pts, 8)
+	if len(lod) != 8 || len(rest) != 92 {
+		t.Fatalf("sample sizes %d/%d", len(lod), len(rest))
+	}
+	// Samples spread across strata.
+	for i := 1; i < len(lod); i++ {
+		if lod[i]-lod[i-1] < 6 {
+			t.Errorf("samples bunched: %v", lod)
+		}
+	}
+	// Union is the input.
+	seen := map[int]bool{}
+	for _, p := range append(append([]int{}, lod...), rest...) {
+		if seen[p] {
+			t.Fatalf("duplicated %d", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("lost points: %d", len(seen))
+	}
+	// k >= n returns everything as LOD.
+	lod, rest = stratifiedSample(pts[:5], 8)
+	if len(lod) != 5 || len(rest) != 0 {
+		t.Errorf("small input sample %d/%d", len(lod), len(rest))
+	}
+}
+
+func TestCoincidentParticles(t *testing.T) {
+	// All particles at the same position: degenerate splits must not
+	// recurse forever.
+	s := particles.NewSet(particles.NewSchema("a"), 500)
+	for i := 0; i < 500; i++ {
+		s.Append(geom.V3(0.5, 0.5, 0.5), []float64{float64(i)})
+	}
+	domain := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	cfg := DefaultBuildConfig()
+	cfg.MaxLeafSize = 16
+	f, _ := buildAndOpen(t, s, domain, cfg)
+	got, err := f.ReadAll()
+	if err != nil || got.Len() != 500 {
+		t.Fatalf("coincident read: %v, %d", err, got.Len())
+	}
+}
+
+func TestParallelMatchesSerialBuild(t *testing.T) {
+	s, domain := clusteredSet(10000, 18)
+	cfgP := DefaultBuildConfig()
+	cfgS := cfgP
+	cfgS.Parallel = false
+	bp, err := Build(s, domain, cfgP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Build(s, domain, cfgS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bp.Buf) != len(bs.Buf) {
+		t.Fatalf("parallel build %d bytes != serial %d", len(bp.Buf), len(bs.Buf))
+	}
+	for i := range bp.Buf {
+		if bp.Buf[i] != bs.Buf[i] {
+			t.Fatalf("builds differ at byte %d", i)
+		}
+	}
+}
+
+func TestQueryQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 200 + int(seed%800)
+		if n < 0 {
+			n = 200
+		}
+		s, domain := randomSet(n, seed)
+		cfg := DefaultBuildConfig()
+		cfg.MaxLeafSize = 16
+		cfg.LODPerNode = 4
+		b, err := Build(s, domain, cfg)
+		if err != nil {
+			return false
+		}
+		fl, err := FromBuffer(b.Buf)
+		if err != nil {
+			return false
+		}
+		lo := geom.V3(r.Float64()*0.8, r.Float64()*0.8, r.Float64()*0.8)
+		box := geom.NewBox(lo, lo.Add(geom.V3(0.3, 0.3, 0.3)))
+		want := 0
+		for i := 0; i < s.Len(); i++ {
+			if box.Contains(s.Position(i)) {
+				want++
+			}
+		}
+		got, err := fl.CountMatching(Query{Bounds: &box})
+		return err == nil && int(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDictionaryDeduplicates(t *testing.T) {
+	s, domain := randomSet(50000, 19)
+	_, b := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	// Many nodes share bitmaps; the dictionary must be far smaller than
+	// the node count.
+	if b.Stats.DictEntries >= b.Stats.NumTreeletNodes {
+		t.Errorf("dictionary (%d) not smaller than node count (%d)",
+			b.Stats.DictEntries, b.Stats.NumTreeletNodes)
+	}
+	if b.Stats.DictEntries > math.MaxUint16 {
+		t.Errorf("dictionary exceeds 16-bit IDs: %d", b.Stats.DictEntries)
+	}
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	s := particles.NewSet(particles.UniformSchema(7), 100000)
+	for i := 0; i < 100000; i++ {
+		s.Append(geom.V3(r.Float64(), r.Float64(), r.Float64()),
+			[]float64{1, 2, 3, 4, 5, 6, 7})
+	}
+	domain := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	b.SetBytes(s.Bytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(s, domain, DefaultBuildConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProgressiveRead(b *testing.B) {
+	s, domain := clusteredSet(100000, 2)
+	built, err := Build(s, domain, DefaultBuildConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := FromBuffer(built.Buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prev := 0.0
+		for step := 1; step <= 10; step++ {
+			q := float64(step) / 10
+			if _, err := f.CountMatching(Query{PrevQuality: prev, Quality: q}); err != nil {
+				b.Fatal(err)
+			}
+			prev = q
+		}
+	}
+}
+
+func TestOpenMmap(t *testing.T) {
+	s, domain := randomSet(3000, 21)
+	b, err := Build(s, domain, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mmap.bat")
+	if err := os.WriteFile(path, b.Buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.ReadAll()
+	if err != nil || got.Len() != 3000 {
+		t.Fatalf("mmap read: %v, %d particles", err, got.Len())
+	}
+	// Results identical to the pread path.
+	f2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	box := geom.NewBox(geom.V3(0.2, 0.2, 0.2), geom.V3(0.7, 0.7, 0.7))
+	n1, _ := f.CountMatching(Query{Bounds: &box})
+	n2, _ := f2.CountMatching(Query{Bounds: &box})
+	if n1 != n2 {
+		t.Errorf("mmap query %d != pread query %d", n1, n2)
+	}
+	if _, err := OpenMmap(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestQuantizedPositionsRoundTrip(t *testing.T) {
+	s, domain := clusteredSet(8000, 23)
+	cfg := DefaultBuildConfig()
+	cfg.QuantizePositions = true
+	f, b := buildAndOpen(t, s, domain, cfg)
+	if !f.Quantized {
+		t.Fatal("file not flagged quantized")
+	}
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("read %d of %d", got.Len(), s.Len())
+	}
+	// Quantized file is smaller than the float32 one.
+	plain, err := Build(s, domain, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Buf) >= len(plain.Buf) {
+		t.Errorf("quantized file %d B >= plain %d B", len(b.Buf), len(plain.Buf))
+	}
+	// Attributes are exact; positions within the per-treelet quantization
+	// error. Match particles on the unique attribute and bound the error
+	// by the domain extent (treelet extents are smaller).
+	orig := make(map[float64]geom.Vec3, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		orig[s.Attrs[0][i]] = s.Position(i)
+	}
+	maxErr := 0.0
+	for i := 0; i < got.Len(); i++ {
+		p0, ok := orig[got.Attrs[0][i]]
+		if !ok {
+			t.Fatal("attribute value not found (attrs must be lossless)")
+		}
+		d := got.Position(i).Sub(p0)
+		for _, v := range []float64{d.X, d.Y, d.Z} {
+			if math.Abs(v) > maxErr {
+				maxErr = math.Abs(v)
+			}
+		}
+	}
+	// Error bound: largest treelet extent / 65536; the domain is 1 wide so
+	// 1/65536 is a safe upper bound (with slack for float32 storage).
+	if maxErr > 1.0/65536+1e-5 {
+		t.Errorf("quantization error %g exceeds bound", maxErr)
+	}
+}
+
+func TestQuantizedQueriesConsistent(t *testing.T) {
+	// Spatial and progressive queries behave identically modulo the
+	// quantization epsilon: counts over a box should be close to the
+	// unquantized counts, and progressive tiling remains exact.
+	s, domain := randomSet(6000, 24)
+	cfg := DefaultBuildConfig()
+	cfg.QuantizePositions = true
+	f, _ := buildAndOpen(t, s, domain, cfg)
+	plain, _ := buildAndOpen(t, s, domain, DefaultBuildConfig())
+	box := geom.NewBox(geom.V3(0.25, 0.25, 0.25), geom.V3(0.75, 0.75, 0.75))
+	nq, err := f.CountMatching(Query{Bounds: &box})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := plain.CountMatching(Query{Bounds: &box})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(float64(nq - np)); diff > float64(np)/100+10 {
+		t.Errorf("quantized box count %d far from plain %d", nq, np)
+	}
+	// Progressive reads still tile exactly (ordering is unaffected).
+	var total int64
+	prev := 0.0
+	for step := 1; step <= 5; step++ {
+		q := float64(step) / 5
+		n, err := f.CountMatching(Query{PrevQuality: prev, Quality: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+		prev = q
+	}
+	if total != int64(s.Len()) {
+		t.Errorf("quantized progressive total %d != %d", total, s.Len())
+	}
+}
+
+func TestQuantizedCompressionRatio(t *testing.T) {
+	// With 1 attribute (8B) + positions, quantized storage should save
+	// roughly 6 bytes of 20 per particle (~30%) at scale.
+	s, domain := clusteredSet(100000, 25)
+	cfg := DefaultBuildConfig()
+	cfg.QuantizePositions = true
+	b, err := Build(s, domain, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(b.Stats.FileBytes) / float64(b.Stats.RawDataBytes)
+	if ratio > 0.80 {
+		t.Errorf("quantized file is %.0f%% of raw; expected <= 80%%", ratio*100)
+	}
+}
+
+func TestFloat32AttributesRoundTrip(t *testing.T) {
+	// Mixed-precision schema: the second attribute is stored as float32
+	// on disk, so values round-trip through float32 precision.
+	r := rand.New(rand.NewSource(26))
+	schema := particles.Schema{Attrs: []particles.AttrDesc{
+		{Name: "exact", Type: particles.Float64},
+		{Name: "single", Type: particles.Float32},
+	}}
+	s := particles.NewSet(schema, 2000)
+	for i := 0; i < 2000; i++ {
+		s.Append(geom.V3(r.Float64(), r.Float64(), r.Float64()),
+			[]float64{r.NormFloat64() * 1e6, r.NormFloat64() * 1e6})
+	}
+	domain := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	b, err := Build(s, domain, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File is smaller than the all-f64 equivalent.
+	s64 := particles.NewSet(particles.NewSchema("exact", "single"), 2000)
+	s64.X, s64.Y, s64.Z = s.X, s.Y, s.Z
+	s64.Attrs = s.Attrs
+	b64, err := Build(s64, domain, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Buf) >= len(b64.Buf) {
+		t.Errorf("f32-attr file %d B >= f64 file %d B", len(b.Buf), len(b64.Buf))
+	}
+	f, err := FromBuffer(b.Buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema.Attrs[1].Type != particles.Float32 {
+		t.Fatal("schema type lost")
+	}
+	got, err := f.ReadAll()
+	if err != nil || got.Len() != 2000 {
+		t.Fatalf("read: %v %d", err, got.Len())
+	}
+	// Match on the exact attribute; the single one is f32-rounded.
+	byExact := map[float64]float64{}
+	for i := 0; i < s.Len(); i++ {
+		byExact[s.Attrs[0][i]] = s.Attrs[1][i]
+	}
+	for i := 0; i < got.Len(); i++ {
+		orig, ok := byExact[got.Attrs[0][i]]
+		if !ok {
+			t.Fatal("f64 attribute not exact")
+		}
+		if got.Attrs[1][i] != float64(float32(orig)) {
+			t.Fatalf("f32 attribute rounding wrong: %v vs %v", got.Attrs[1][i], orig)
+		}
+	}
+}
+
+func TestBitmapPruningEffective(t *testing.T) {
+	// The paper's §V-A claim: attribute bitmaps prune subtrees before
+	// their particles are touched. mass correlates with x, so a narrow
+	// mass filter must prune spatially distant subtrees.
+	s, domain := randomSet(20000, 27)
+	cfg := DefaultBuildConfig()
+	cfg.MaxLeafSize = 32
+	f, _ := buildAndOpen(t, s, domain, cfg)
+	st, err := f.QueryWithStats(
+		Query{Filters: []AttrFilter{{Attr: 0, Min: 10, Max: 15}}},
+		func(geom.Vec3, []float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PrunedSubtrees == 0 {
+		t.Error("selective filter pruned nothing")
+	}
+	if st.Visited == 0 {
+		t.Error("selective filter matched nothing")
+	}
+	// The work actually done (visited + rejected) must be far below a
+	// full scan.
+	touched := st.Visited + st.FalsePositives
+	if touched*2 > int64(s.Len()) {
+		t.Errorf("filter touched %d of %d particles; bitmaps not pruning", touched, s.Len())
+	}
+	// An unfiltered query touches everything and prunes nothing by
+	// attribute.
+	full, err := f.QueryWithStats(Query{}, func(geom.Vec3, []float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Visited != int64(s.Len()) || full.FalsePositives != 0 {
+		t.Errorf("full scan stats %+v", full)
+	}
+}
+
+func BenchmarkAttributeFilteredQuery(b *testing.B) {
+	s, domain := randomSet(200000, 28)
+	built, err := Build(s, domain, DefaultBuildConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := FromBuffer(built.Buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.CountMatching(Query{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("narrow-filter", func(b *testing.B) {
+		q := Query{Filters: []AttrFilter{{Attr: 0, Min: 40, Max: 45}}}
+		for i := 0; i < b.N; i++ {
+			if _, err := f.CountMatching(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestCorruptionRobustness(t *testing.T) {
+	// Random single-byte mutations of a valid file must never panic:
+	// either the file still parses (the flipped byte was payload) or a
+	// clean error surfaces.
+	s, domain := clusteredSet(4000, 29)
+	b, err := Build(s, domain, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(123))
+	run := func(buf []byte) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("panic on corrupted input: %v", p)
+			}
+		}()
+		f, err := FromBuffer(buf)
+		if err != nil {
+			return
+		}
+		// Traversals must also be panic-free.
+		f.CountMatching(Query{})
+		box := geom.NewBox(geom.V3(0, 0, 0), geom.V3(0.5, 0.5, 0.5))
+		f.CountMatching(Query{Bounds: &box, Filters: []AttrFilter{{Attr: 0, Min: 0, Max: 1}}})
+	}
+	for trial := 0; trial < 300; trial++ {
+		buf := append([]byte(nil), b.Buf...)
+		// Flip 1-4 random bytes.
+		for k := 0; k <= r.Intn(4); k++ {
+			buf[r.Intn(len(buf))] ^= byte(1 + r.Intn(255))
+		}
+		run(buf)
+	}
+	// Pure garbage of various sizes.
+	for trial := 0; trial < 100; trial++ {
+		buf := make([]byte, r.Intn(8192))
+		r.Read(buf)
+		run(buf)
+	}
+	// Truncations at every granularity.
+	for cut := len(b.Buf); cut >= 0; cut -= 97 {
+		run(b.Buf[:cut])
+	}
+}
+
+func TestSpatialQueryDeepShallowTree(t *testing.T) {
+	// Force the full 12-bit subprefix on a modest set so the shallow
+	// radix tree is deep and its derived split planes (Morton cell
+	// midplanes) do the spatial pruning. Any error in the plane
+	// derivation loses particles versus brute force.
+	s, domain := clusteredSet(30000, 31)
+	cfg := DefaultBuildConfig()
+	cfg.FixedSubprefix = true
+	f, b := buildAndOpen(t, s, domain, cfg)
+	if b.Stats.NumShallowNodes < 50 {
+		t.Fatalf("want a deep shallow tree, got %d inner nodes", b.Stats.NumShallowNodes)
+	}
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		lo := geom.V3(r.Float64(), r.Float64(), r.Float64())
+		sz := 0.02 + r.Float64()*0.3
+		q := geom.NewBox(lo, lo.Add(geom.V3(sz, sz, sz)))
+		want := 0
+		for i := 0; i < s.Len(); i++ {
+			if q.Contains(s.Position(i)) {
+				want++
+			}
+		}
+		got, err := f.CountMatching(Query{Bounds: &q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(got) != want {
+			t.Fatalf("trial %d: deep shallow tree query returned %d, brute force %d", trial, got, want)
+		}
+	}
+	// Pruning must actually engage on a tight query.
+	tiny := geom.NewBox(geom.V3(0.01, 0.01, 0.01), geom.V3(0.03, 0.03, 0.03))
+	st, err := f.QueryWithStats(Query{Bounds: &tiny}, func(geom.Vec3, []float64) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PrunedSubtrees == 0 {
+		t.Error("tight spatial query pruned nothing in the deep shallow tree")
+	}
+}

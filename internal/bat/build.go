@@ -1,0 +1,516 @@
+// Package bat implements the Binned Attribute Tree (BAT), the paper's
+// multiresolution particle data layout (§III-C). A BAT is built by each
+// aggregator over the particles it receives and supports:
+//
+//   - progressive multiresolution reads: treelet inner nodes hold a fixed
+//     number of stratified-sampled LOD particles, taken from (not
+//     duplicating) the input;
+//   - spatial queries through its k-d structure: a shallow tree built
+//     bottom-up with Karras's algorithm over merged Morton subprefixes,
+//     with a median-split k-d treelet per shallow leaf;
+//   - attribute-filtered queries via fixed 32-bit binned bitmap indices at
+//     every node, deduplicated through a 16-bit-ID dictionary.
+//
+// The compacted byte-buffer form (see format.go) is what aggregators write
+// to disk; treelets are 4 KB page aligned for memory-mapped access.
+package bat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"libbat/internal/bitmap"
+	"libbat/internal/geom"
+	"libbat/internal/morton"
+	"libbat/internal/particles"
+	"libbat/internal/radix"
+)
+
+// BuildConfig controls BAT construction. The zero value is not valid; use
+// DefaultBuildConfig.
+type BuildConfig struct {
+	// SubprefixBits is the Morton subprefix width merged to form the
+	// shallow tree's leaves (paper: 12 bits). Unless FixedSubprefix is
+	// set, the width is reduced automatically for small particle counts
+	// so each treelet holds enough particles to form an LOD hierarchy;
+	// at the paper's scales (millions of particles per aggregator) the
+	// full width is used.
+	SubprefixBits int
+	// FixedSubprefix disables the automatic subprefix reduction.
+	FixedSubprefix bool
+	// LODPerNode is the number of LOD particles set aside at each treelet
+	// inner node (paper evaluation: 8).
+	LODPerNode int
+	// MaxLeafSize is the maximum number of particles in a treelet leaf
+	// (paper evaluation: 128).
+	MaxLeafSize int
+	// Parallel enables concurrent treelet construction.
+	Parallel bool
+	// QuantizePositions stores positions as 16-bit fixed point relative
+	// to each treelet's bounds (6 bytes per particle instead of 12),
+	// implementing the quantization extension the paper leaves as future
+	// work (§VII-A). The quantization error is bounded by the treelet
+	// extent divided by 65536 per axis.
+	QuantizePositions bool
+}
+
+// DefaultBuildConfig returns the configuration used in the paper's
+// evaluation: 12-bit subprefixes, 8 LOD particles per inner node, up to 128
+// particles per leaf.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{SubprefixBits: 12, LODPerNode: 8, MaxLeafSize: 128, Parallel: true}
+}
+
+func (c BuildConfig) validate() error {
+	if c.SubprefixBits < 1 || c.SubprefixBits > morton.TotalBits {
+		return fmt.Errorf("bat: subprefix bits %d out of range [1,%d]", c.SubprefixBits, morton.TotalBits)
+	}
+	if c.LODPerNode < 1 {
+		return fmt.Errorf("bat: LOD per node must be >= 1, got %d", c.LODPerNode)
+	}
+	if c.MaxLeafSize < 1 {
+		return fmt.Errorf("bat: max leaf size must be >= 1, got %d", c.MaxLeafSize)
+	}
+	return nil
+}
+
+// treeletNode is an in-memory treelet node prior to compaction.
+type treeletNode struct {
+	axis        geom.Axis // leafAxis for leaves
+	pos         float64
+	left, right int32 // node indices within the treelet; unset for leaves
+	// pts are indices into the aggregator's particle set: the LOD samples
+	// for inner nodes, all contained particles for leaves.
+	pts     []int
+	bitmaps []bitmap.Bitmap // one per attribute
+	start   uint32          // particle range within the treelet, set at flatten
+	count   uint32
+}
+
+// leafAxis marks a treelet or shallow node as a leaf on disk.
+const leafAxis geom.Axis = 3
+
+// treelet is one built treelet: nodes in BFS order (root at 0) with
+// particle ranges laid out in the same order.
+type treelet struct {
+	nodes  []treeletNode
+	order  []int // particle indices (into the set) in file layout order
+	depth  int   // max node depth, root = 0
+	prefix morton.Code
+}
+
+// builtShallowNode is an in-memory shallow tree inner node.
+type builtShallowNode struct {
+	axis        geom.Axis
+	pos         float64
+	left, right int32 // >= 0: inner node; < 0: ^treeletIndex
+	bitmaps     []bitmap.Bitmap
+}
+
+// Built is the in-memory result of a BAT build: the compacted file image
+// plus build statistics. The buffer is directly writable to disk and
+// directly queryable (see Reader), enabling the paper's in-transit use.
+type Built struct {
+	Buf   []byte
+	Stats BuildStats
+}
+
+// BuildStats reports layout statistics.
+type BuildStats struct {
+	NumParticles    int
+	NumTreelets     int
+	NumTreeletNodes int
+	NumShallowNodes int
+	MaxTreeletDepth int
+	DictEntries     int
+	FileBytes       int64
+	RawDataBytes    int64
+	PaddingBytes    int64
+}
+
+// OverheadFraction returns the layout's storage overhead relative to the
+// raw particle payload (paper §VI-B: ~0.9%).
+func (s BuildStats) OverheadFraction() float64 {
+	if s.RawDataBytes == 0 {
+		return 0
+	}
+	return float64(s.FileBytes-s.RawDataBytes) / float64(s.RawDataBytes)
+}
+
+// Build constructs the compacted BAT over the particle set. domain is the
+// spatial region the Morton quantization is computed against (the
+// aggregation-tree leaf bounds); it must contain all particles.
+func Build(set *particles.Set, domain geom.Box, cfg BuildConfig) (*Built, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := set.Len()
+	if !cfg.FixedSubprefix {
+		// Shrink the subprefix until the average treelet holds a few
+		// dozen leaves' worth of particles: deep enough for useful LOD
+		// levels and large enough that the 4 KB page alignment padding
+		// stays around 1% of the data (§VI-B's memory overhead).
+		for cfg.SubprefixBits > 0 && n>>uint(cfg.SubprefixBits) < 32*cfg.MaxLeafSize {
+			cfg.SubprefixBits--
+		}
+		if cfg.SubprefixBits == 0 {
+			cfg.SubprefixBits = 1
+		}
+	}
+	// Attribute local value ranges (the bitmap reference ranges).
+	ranges := make([]bitmap.Range, set.Schema.NumAttrs())
+	for a := range ranges {
+		ranges[a] = set.AttrRange(a)
+	}
+
+	// Step 1: Morton codes, sorted particle order.
+	codes := make([]morton.Code, n)
+	for i := 0; i < n; i++ {
+		codes[i] = morton.FromPoint(set.Position(i), domain)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return codes[order[a]] < codes[order[b]] })
+
+	// Step 2: merge shared subprefixes into the shallow tree's leaf codes
+	// and record each group's contiguous range in the sorted order.
+	type group struct {
+		code     morton.Code
+		from, to int // range in `order`
+	}
+	var groups []group
+	for i := 0; i < n; {
+		sp := codes[order[i]].Subprefix(cfg.SubprefixBits)
+		j := i + 1
+		for j < n && codes[order[j]].Subprefix(cfg.SubprefixBits) == sp {
+			j++
+		}
+		groups = append(groups, group{code: sp, from: i, to: j})
+		i = j
+	}
+	leafCodes := make([]morton.Code, len(groups))
+	for i, g := range groups {
+		leafCodes[i] = g.code
+	}
+	shallow := radix.Build(leafCodes)
+
+	// Step 3: independent treelet builds, one per shallow leaf.
+	treelets := make([]*treelet, len(groups))
+	buildOne := func(gi int) {
+		g := groups[gi]
+		t := buildTreelet(set, order[g.from:g.to], cfg)
+		t.prefix = g.code
+		treelets[gi] = t
+	}
+	if cfg.Parallel && len(groups) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, 16)
+		for gi := range groups {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(gi int) {
+				defer wg.Done()
+				buildOne(gi)
+				<-sem
+			}(gi)
+		}
+		wg.Wait()
+	} else {
+		for gi := range groups {
+			buildOne(gi)
+		}
+	}
+
+	// Step 4: bitmaps bottom-up within each treelet.
+	for _, t := range treelets {
+		computeTreeletBitmaps(set, t, ranges)
+	}
+
+	// Step 5: flatten the shallow radix tree and propagate bitmaps up it.
+	shallowNodes := flattenShallow(shallow, treelets, domain, cfg.SubprefixBits, set.Schema.NumAttrs())
+
+	// Step 6: compact everything into the file image.
+	return compact(set, domain, cfg, ranges, shallowNodes, treelets)
+}
+
+// buildTreelet constructs a median-split k-d treelet over the particles in
+// idx (already sorted by Morton code, which stratified LOD sampling relies
+// on). idx is consumed.
+func buildTreelet(set *particles.Set, idx []int, cfg BuildConfig) *treelet {
+	t := &treelet{}
+	// Build depth-first into the nodes slice, then reorder to BFS layout.
+	var build func(pts []int, depth int) int32
+	build = func(pts []int, depth int) int32 {
+		if depth > t.depth {
+			t.depth = depth
+		}
+		me := int32(len(t.nodes))
+		if len(pts) <= cfg.MaxLeafSize {
+			t.nodes = append(t.nodes, treeletNode{axis: leafAxis, pts: pts})
+			return me
+		}
+		// Stratified LOD sampling over the Morton-sorted points: one
+		// sample per stride keeps the subset spatially representative.
+		lod, rest := stratifiedSample(pts, cfg.LODPerNode)
+		// Median split along the longest axis of the point bounds; a full
+		// sort is unnecessary — quickselect the median coordinate and
+		// three-way partition around it (O(n) per level).
+		bounds := geom.EmptyBox()
+		for _, p := range rest {
+			bounds = bounds.Extend(set.Position(p))
+		}
+		axis := bounds.LongestAxis()
+		mid, pos, ok := medianPartition(set, rest, axis)
+		if !ok {
+			// Degenerate distribution (all points coincident on the
+			// axis): fall back to a leaf holding everything.
+			t.nodes = append(t.nodes, treeletNode{axis: leafAxis, pts: pts})
+			return me
+		}
+		t.nodes = append(t.nodes, treeletNode{axis: axis, pos: pos, pts: lod})
+		l := build(rest[:mid], depth+1)
+		r := build(rest[mid:], depth+1)
+		t.nodes[me].left = l
+		t.nodes[me].right = r
+		return me
+	}
+	if len(idx) > 0 {
+		build(idx, 0)
+		t.reorderBFS()
+	}
+	return t
+}
+
+// medianPartition rearranges rest so that rest[:mid] have coordinates
+// strictly below pos and rest[mid:] have coordinates >= pos, with both
+// sides nonempty, choosing pos at (or just above) the median coordinate
+// along axis. It reports ok=false when every coordinate is identical (no
+// split exists). The element order within each side follows the input
+// order, keeping builds deterministic.
+func medianPartition(set *particles.Set, rest []int, axis geom.Axis) (mid int, pos float64, ok bool) {
+	n := len(rest)
+	coords := make([]float64, n)
+	for i, p := range rest {
+		coords[i] = set.Position(p).Component(axis)
+	}
+	med := quickselect(append([]float64(nil), coords...), n/2)
+	// Three-way partition by the median value, preserving input order.
+	less := make([]int, 0, n/2+1)
+	equal := make([]int, 0, 8)
+	greater := make([]int, 0, n/2+1)
+	minGreater := math.Inf(1)
+	for i, p := range rest {
+		switch c := coords[i]; {
+		case c < med:
+			less = append(less, p)
+		case c > med:
+			greater = append(greater, p)
+			if c < minGreater {
+				minGreater = c
+			}
+		default:
+			equal = append(equal, p)
+		}
+	}
+	switch {
+	case len(less) > 0:
+		// Split below the median value: less | equal+greater.
+		pos, mid = med, len(less)
+		copy(rest, less)
+		copy(rest[mid:], equal)
+		copy(rest[mid+len(equal):], greater)
+		return mid, pos, true
+	case len(greater) > 0:
+		// Median is the minimum: split at the next distinct value.
+		pos, mid = minGreater, len(equal)
+		copy(rest, equal)
+		copy(rest[mid:], greater)
+		return mid, pos, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// quickselect returns the k-th smallest element of a (0-based), mutating a.
+// The median-of-three pivot keeps it deterministic and fast on the sorted
+// and constant runs common in particle coordinates.
+func quickselect(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		// Median-of-three pivot.
+		m := (lo + hi) / 2
+		if a[m] < a[lo] {
+			a[m], a[lo] = a[lo], a[m]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[m] {
+			a[hi], a[m] = a[m], a[hi]
+		}
+		pivot := a[m]
+		// Three-way partition (Dutch national flag) handles duplicate-
+		// heavy inputs without quadratic blowup.
+		i, j, p := lo, lo, hi
+		for j <= p {
+			switch {
+			case a[j] < pivot:
+				a[i], a[j] = a[j], a[i]
+				i++
+				j++
+			case a[j] > pivot:
+				a[j], a[p] = a[p], a[j]
+				p--
+			default:
+				j++
+			}
+		}
+		switch {
+		case k < i:
+			hi = i - 1
+		case k > p:
+			lo = p + 1
+		default:
+			return pivot
+		}
+	}
+	return a[lo]
+}
+
+// stratifiedSample picks k evenly spaced elements (the stratum midpoints)
+// from pts, returning the samples and the remainder.
+func stratifiedSample(pts []int, k int) (lod, rest []int) {
+	n := len(pts)
+	if k >= n {
+		return pts, nil
+	}
+	lod = make([]int, 0, k)
+	rest = make([]int, 0, n-k)
+	stride := float64(n) / float64(k)
+	next := 0
+	for s := 0; s < k; s++ {
+		pick := int(stride*float64(s) + stride/2)
+		if pick >= n {
+			pick = n - 1
+		}
+		for i := next; i < pick; i++ {
+			rest = append(rest, pts[i])
+		}
+		lod = append(lod, pts[pick])
+		next = pick + 1
+	}
+	rest = append(rest, pts[next:]...)
+	return lod, rest
+}
+
+// reorderBFS relays the treelet's nodes out in breadth-first order and
+// assigns each node's particle range in that order, so a depth-limited
+// progressive read touches a prefix of the treelet's particle data.
+func (t *treelet) reorderBFS() {
+	if len(t.nodes) == 0 {
+		return
+	}
+	bfs := make([]int32, 0, len(t.nodes))
+	bfs = append(bfs, 0)
+	for qi := 0; qi < len(bfs); qi++ {
+		n := &t.nodes[bfs[qi]]
+		if n.axis != leafAxis {
+			bfs = append(bfs, n.left, n.right)
+		}
+	}
+	remap := make([]int32, len(t.nodes))
+	for newIdx, oldIdx := range bfs {
+		remap[oldIdx] = int32(newIdx)
+	}
+	newNodes := make([]treeletNode, len(t.nodes))
+	var order []int
+	for newIdx, oldIdx := range bfs {
+		n := t.nodes[oldIdx]
+		if n.axis != leafAxis {
+			n.left, n.right = remap[n.left], remap[n.right]
+		}
+		n.start = uint32(len(order))
+		n.count = uint32(len(n.pts))
+		order = append(order, n.pts...)
+		newNodes[newIdx] = n
+	}
+	t.nodes = newNodes
+	t.order = order
+}
+
+// computeTreeletBitmaps fills per-node per-attribute bitmaps bottom-up:
+// leaves index their particles; inner nodes merge their children's bitmaps
+// with those of their own LOD particles (§III-C2).
+func computeTreeletBitmaps(set *particles.Set, t *treelet, ranges []bitmap.Range) {
+	nA := set.Schema.NumAttrs()
+	// BFS order guarantees children follow parents; iterate in reverse.
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := &t.nodes[i]
+		n.bitmaps = make([]bitmap.Bitmap, nA)
+		for a := 0; a < nA; a++ {
+			var b bitmap.Bitmap
+			for _, p := range n.pts {
+				b |= bitmap.OfValue(set.Attrs[a][p], ranges[a])
+			}
+			if n.axis != leafAxis {
+				b |= t.nodes[n.left].bitmaps[a] | t.nodes[n.right].bitmaps[a]
+			}
+			n.bitmaps[a] = b
+		}
+	}
+}
+
+// flattenShallow converts the radix tree over subprefix codes into the
+// stored shallow k-d tree: each inner node's split plane is derived from
+// the first bit on which its two subtrees differ, and node bitmaps are the
+// merge of the covered treelets' root bitmaps.
+func flattenShallow(rt *radix.Tree, treelets []*treelet, domain geom.Box, subprefixBits, nAttrs int) []builtShallowNode {
+	if len(rt.Nodes) == 0 {
+		return nil
+	}
+	nodes := make([]builtShallowNode, len(rt.Nodes))
+	var rec func(ref int32) []bitmap.Bitmap
+	rec = func(ref int32) []bitmap.Bitmap {
+		if li, ok := radix.IsLeafRef(ref); ok {
+			t := treelets[li]
+			if len(t.nodes) == 0 {
+				return make([]bitmap.Bitmap, nAttrs)
+			}
+			return t.nodes[0].bitmaps
+		}
+		prefix, plen := rt.SharedPrefix(int(ref), subprefixBits)
+		cell := morton.CellBounds(prefix, plen, domain)
+		axis := axisOfPrefixBit(plen)
+		pos := cell.Center().Component(axis)
+		n := &nodes[ref]
+		n.axis, n.pos = axis, pos
+		n.left, n.right = rt.Nodes[ref].Left, rt.Nodes[ref].Right
+		lb := rec(n.left)
+		rb := rec(n.right)
+		n.bitmaps = make([]bitmap.Bitmap, nAttrs)
+		for a := range n.bitmaps {
+			n.bitmaps[a] = lb[a] | rb[a]
+		}
+		return n.bitmaps
+	}
+	rec(0)
+	return nodes
+}
+
+// axisOfPrefixBit maps a 0-based bit index counted from the top of a Morton
+// code to its split axis. The encoding interleaves x at bit 3i, y at 3i+1,
+// z at 3i+2, so the topmost bit (index 0 from the top) belongs to z.
+func axisOfPrefixBit(i int) geom.Axis {
+	switch i % 3 {
+	case 0:
+		return geom.Z
+	case 1:
+		return geom.Y
+	default:
+		return geom.X
+	}
+}

@@ -1,0 +1,323 @@
+// On-disk format of a BAT file (paper Figure 2). All integers are little
+// endian.
+//
+//	Header:
+//	  magic "BAT1", version u32, flags u32
+//	  numParticles u64
+//	  domain bounds: 6 x f64
+//	  subprefixBits, lodPerNode, maxLeafSize, maxTreeletDepth u32
+//	  numAttrs u32
+//	  per attribute: nameLen u16, name bytes, type u8,
+//	                 local range min f64, max f64
+//	  numShallowInner u32, numTreelets u32
+//	  shallow inner nodes: axis u8, pos f64, left i32, right i32,
+//	                       bitmapID u16 per attribute
+//	  shallow leaves:      treelet offset u64, byteLen u32,
+//	                       numNodes u32, numPoints u32,
+//	                       treelet bounds 6 x f64,
+//	                       bitmapID u16 per attribute
+//	  bitmap dictionary:   count u32, entries u32 each
+//	Treelets, each aligned to a 4 KB page boundary:
+//	  numNodes u32, numPoints u32
+//	  nodes: axis u8 (3 = leaf), pos f64, left i32, right i32,
+//	         start u32, count u32, bitmapID u16 per attribute
+//	  particle data: X, Y, Z as f32 arrays (or u16 fixed point relative
+//	                 to the treelet bounds when flagQuantized is set),
+//	                 then one array per attribute (f64 or f32 per its
+//	                 schema type)
+package bat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"libbat/internal/bitmap"
+	"libbat/internal/geom"
+	"libbat/internal/particles"
+)
+
+const (
+	magic   = "BAT1"
+	version = 1
+	// PageSize is the alignment of treelets in the file (§III-C3).
+	PageSize = 4096
+	// flagQuantized marks 16-bit fixed-point position storage.
+	flagQuantized = 1 << 0
+)
+
+// writer is a little-endian append buffer.
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) f32(v float32) {
+	w.u32(math.Float32bits(v))
+}
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *writer) bytes(b []byte) { w.buf = append(w.buf, b...) }
+func (w *writer) box(b geom.Box) {
+	w.f64(b.Lower.X)
+	w.f64(b.Lower.Y)
+	w.f64(b.Lower.Z)
+	w.f64(b.Upper.X)
+	w.f64(b.Upper.Y)
+	w.f64(b.Upper.Z)
+}
+
+// padTo pads the buffer with zeros to the given alignment and returns the
+// number of padding bytes added.
+func (w *writer) padTo(align int) int {
+	rem := len(w.buf) % align
+	if rem == 0 {
+		return 0
+	}
+	pad := align - rem
+	w.buf = append(w.buf, make([]byte, pad)...)
+	return pad
+}
+
+// treeletNodeBytes is the per-node record size excluding bitmap IDs.
+const treeletNodeBytes = 1 + 8 + 4 + 4 + 4 + 4
+
+// shallowInnerBytes is the per-shallow-inner record size excluding IDs.
+const shallowInnerBytes = 1 + 8 + 4 + 4
+
+// shallowLeafBytes is the per-shallow-leaf record size excluding IDs:
+// offset, byteLen, node/point counts, and the treelet bounds.
+const shallowLeafBytes = 8 + 4 + 4 + 4 + 48
+
+// compact assembles the file image: header + shallow tree + dictionary up
+// front, then page-aligned treelets (paper §III-C3). Bitmaps are interned
+// into the dictionary here, serializing the per-treelet results.
+func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
+	ranges []bitmap.Range, shallowNodes []builtShallowNode, treelets []*treelet) (*Built, error) {
+
+	nA := set.Schema.NumAttrs()
+	dict := bitmap.NewDictionary()
+	intern := func(bms []bitmap.Bitmap) ([]bitmap.ID, error) {
+		ids := make([]bitmap.ID, len(bms))
+		for i, b := range bms {
+			id, err := dict.Intern(b)
+			if err != nil {
+				return nil, err
+			}
+			ids[i] = id
+		}
+		return ids, nil
+	}
+
+	// Intern every node bitmap first so the dictionary size is known
+	// before the header is laid out.
+	shallowIDs := make([][]bitmap.ID, len(shallowNodes))
+	for i, n := range shallowNodes {
+		ids, err := intern(n.bitmaps)
+		if err != nil {
+			return nil, err
+		}
+		shallowIDs[i] = ids
+	}
+	treeletIDs := make([][][]bitmap.ID, len(treelets))
+	rootIDs := make([][]bitmap.ID, len(treelets))
+	for ti, t := range treelets {
+		treeletIDs[ti] = make([][]bitmap.ID, len(t.nodes))
+		for ni := range t.nodes {
+			ids, err := intern(t.nodes[ni].bitmaps)
+			if err != nil {
+				return nil, err
+			}
+			treeletIDs[ti][ni] = ids
+		}
+		if len(t.nodes) > 0 {
+			rootIDs[ti] = treeletIDs[ti][0]
+		} else {
+			rootIDs[ti] = make([]bitmap.ID, nA)
+		}
+	}
+
+	// Compute the header size to locate the first treelet.
+	headerSize := 4 + 4 + 4 + 8 + 48 + 16 + 4
+	for _, a := range set.Schema.Attrs {
+		headerSize += 2 + len(a.Name) + 1 + 16
+	}
+	headerSize += 4 + 4
+	headerSize += len(shallowNodes) * (shallowInnerBytes + 2*nA)
+	headerSize += len(treelets) * (shallowLeafBytes + 2*nA)
+	headerSize += 4 + 4*dict.Len()
+
+	// Treelet byte sizes and offsets.
+	posBytes := 12
+	var flags uint32
+	if cfg.QuantizePositions {
+		posBytes = 6
+		flags |= flagQuantized
+	}
+	bppFile := posBytes
+	for _, a := range set.Schema.Attrs {
+		bppFile += a.Type.Size()
+	}
+
+	// Tight per-treelet point bounds (the quantization frame, and useful
+	// metadata regardless).
+	tBounds := make([]geom.Box, len(treelets))
+	for ti, t := range treelets {
+		b := geom.EmptyBox()
+		for _, p := range t.order {
+			b = b.Extend(set.Position(p))
+		}
+		tBounds[ti] = b
+	}
+	offsets := make([]uint64, len(treelets))
+	sizes := make([]uint32, len(treelets))
+	off := int64(headerSize)
+	var padding int64
+	maxDepth := 0
+	numNodes := 0
+	for ti, t := range treelets {
+		if t.depth > maxDepth {
+			maxDepth = t.depth
+		}
+		numNodes += len(t.nodes)
+		if rem := off % PageSize; rem != 0 {
+			padding += PageSize - rem
+			off += PageSize - rem
+		}
+		offsets[ti] = uint64(off)
+		sz := 8 + len(t.nodes)*(treeletNodeBytes+2*nA) + len(t.order)*bppFile
+		sizes[ti] = uint32(sz)
+		off += int64(sz)
+	}
+
+	w := &writer{buf: make([]byte, 0, off)}
+	// Header.
+	w.bytes([]byte(magic))
+	w.u32(version)
+	w.u32(flags)
+	w.u64(uint64(set.Len()))
+	w.box(domain)
+	w.u32(uint32(cfg.SubprefixBits))
+	w.u32(uint32(cfg.LODPerNode))
+	w.u32(uint32(cfg.MaxLeafSize))
+	w.u32(uint32(maxDepth))
+	w.u32(uint32(nA))
+	for a, desc := range set.Schema.Attrs {
+		w.u16(uint16(len(desc.Name)))
+		w.bytes([]byte(desc.Name))
+		w.u8(uint8(desc.Type))
+		r := ranges[a]
+		w.f64(r.Min)
+		w.f64(r.Max)
+	}
+	w.u32(uint32(len(shallowNodes)))
+	w.u32(uint32(len(treelets)))
+	for i, n := range shallowNodes {
+		w.u8(uint8(n.axis))
+		w.f64(n.pos)
+		w.i32(n.left)
+		w.i32(n.right)
+		for _, id := range shallowIDs[i] {
+			w.u16(uint16(id))
+		}
+	}
+	for ti, t := range treelets {
+		w.u64(offsets[ti])
+		w.u32(sizes[ti])
+		w.u32(uint32(len(t.nodes)))
+		w.u32(uint32(len(t.order)))
+		w.box(tBounds[ti])
+		for _, id := range rootIDs[ti] {
+			w.u16(uint16(id))
+		}
+	}
+	w.u32(uint32(dict.Len()))
+	for _, e := range dict.Entries() {
+		w.u32(uint32(e))
+	}
+	if len(w.buf) != headerSize {
+		return nil, fmt.Errorf("bat: header layout error: wrote %d bytes, computed %d", len(w.buf), headerSize)
+	}
+
+	// Treelets.
+	for ti, t := range treelets {
+		w.padTo(PageSize)
+		if uint64(len(w.buf)) != offsets[ti] {
+			return nil, fmt.Errorf("bat: treelet %d offset error: at %d, computed %d", ti, len(w.buf), offsets[ti])
+		}
+		w.u32(uint32(len(t.nodes)))
+		w.u32(uint32(len(t.order)))
+		for ni, n := range t.nodes {
+			w.u8(uint8(n.axis))
+			w.f64(n.pos)
+			w.i32(n.left)
+			w.i32(n.right)
+			w.u32(n.start)
+			w.u32(n.count)
+			for _, id := range treeletIDs[ti][ni] {
+				w.u16(uint16(id))
+			}
+		}
+		if cfg.QuantizePositions {
+			b := tBounds[ti]
+			quant := func(v, lo, extent float64) uint16 {
+				if extent <= 0 {
+					return 0
+				}
+				q := int((v - lo) / extent * 65536)
+				if q < 0 {
+					q = 0
+				}
+				if q > 65535 {
+					q = 65535
+				}
+				return uint16(q)
+			}
+			sz := b.Size()
+			for _, p := range t.order {
+				w.u16(quant(float64(set.X[p]), b.Lower.X, sz.X))
+			}
+			for _, p := range t.order {
+				w.u16(quant(float64(set.Y[p]), b.Lower.Y, sz.Y))
+			}
+			for _, p := range t.order {
+				w.u16(quant(float64(set.Z[p]), b.Lower.Z, sz.Z))
+			}
+		} else {
+			for _, p := range t.order {
+				w.f32(set.X[p])
+			}
+			for _, p := range t.order {
+				w.f32(set.Y[p])
+			}
+			for _, p := range t.order {
+				w.f32(set.Z[p])
+			}
+		}
+		for a, desc := range set.Schema.Attrs {
+			for _, p := range t.order {
+				if desc.Type == particles.Float32 {
+					w.f32(float32(set.Attrs[a][p]))
+				} else {
+					w.f64(set.Attrs[a][p])
+				}
+			}
+		}
+	}
+
+	stats := BuildStats{
+		NumParticles:    set.Len(),
+		NumTreelets:     len(treelets),
+		NumTreeletNodes: numNodes,
+		NumShallowNodes: len(shallowNodes),
+		MaxTreeletDepth: maxDepth,
+		DictEntries:     dict.Len(),
+		FileBytes:       int64(len(w.buf)),
+		RawDataBytes:    int64(set.Len()) * int64(set.Schema.BytesPerParticle()),
+		PaddingBytes:    padding,
+	}
+	return &Built{Buf: w.buf, Stats: stats}, nil
+}

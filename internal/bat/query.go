@@ -1,0 +1,326 @@
+package bat
+
+import (
+	"errors"
+	"math"
+
+	"libbat/internal/bitmap"
+	"libbat/internal/geom"
+	"libbat/internal/particles"
+)
+
+// maxSaneDepth bounds treelet traversal: a treelet with 2^64 leaves is
+// impossible, so deeper recursion means a corrupt file with cyclic links.
+const maxSaneDepth = 64
+
+var errCyclicTreelet = errors.New("bat: treelet node links form a cycle (corrupt file)")
+
+// AttrFilter restricts a query to particles whose attribute lies in
+// [Min, Max].
+type AttrFilter struct {
+	Attr     int
+	Min, Max float64
+}
+
+// Query describes a visualization read (paper §V): an optional bounding box
+// for spatial filtering, a set of attribute filters, and a progressive
+// quality window. Quality ranges over [0, 1]: 0 loads nothing, 1 the entire
+// data set; the value is log-remapped to a maximum treelet depth since the
+// number of LOD particles doubles each level (§V-B). Setting PrevQuality to
+// the previously queried level makes the read progressive, processing only
+// the new particles for the quality increment.
+type Query struct {
+	Bounds      *geom.Box
+	Filters     []AttrFilter
+	PrevQuality float64
+	Quality     float64
+}
+
+// Visitor receives each particle matched by a query. Returning a non-nil
+// error aborts the traversal.
+type Visitor func(p geom.Vec3, attrs []float64) error
+
+// qualityToDepth log-remaps a quality level in [0,1] to a continuous
+// treelet depth: the number of particles per level doubles, so quality q
+// maps to the depth t at which the cumulative particle count reaches a
+// fraction q of the total, t = log2(1 + q*(2^(maxDepth+1)-1)). It returns
+// the integer maximum depth to traverse and the fraction of each node's
+// particles to process at that depth (§V-B).
+func qualityToDepth(q float64, maxDepth int) (depth int, frac float64) {
+	if q <= 0 {
+		return 0, 0
+	}
+	if q >= 1 {
+		return maxDepth, 1
+	}
+	t := math.Log2(1 + q*(math.Exp2(float64(maxDepth+1))-1))
+	depth = int(t)
+	if depth > maxDepth {
+		return maxDepth, 1
+	}
+	frac = t - float64(depth)
+	return depth, frac
+}
+
+// portion returns the fraction of a node's particles processed at depth d
+// for a quality window endpoint (D, frac).
+func portion(d, depth int, frac float64) float64 {
+	switch {
+	case d < depth:
+		return 1
+	case d == depth:
+		return frac
+	default:
+		return 0
+	}
+}
+
+// queryState is the precomputed filter state of one traversal.
+type queryState struct {
+	q           Query
+	masks       []bitmap.Bitmap // query bitmap per filter, in Filters order
+	prevD       int
+	prevF       float64
+	curD        int
+	curF        float64
+	visit       Visitor
+	numVisited  int64
+	numPruned   int64
+	numFalsePos int64
+}
+
+// prepare validates the query against the file and computes the bitmap
+// masks. It reports whether the query can match anything at all.
+func (f *File) prepare(q Query, visit Visitor) (*queryState, bool) {
+	if q.Quality <= 0 {
+		q.Quality = 1
+	}
+	s := &queryState{q: q, visit: visit}
+	s.prevD, s.prevF = qualityToDepth(q.PrevQuality, f.MaxTreeletDepth)
+	s.curD, s.curF = qualityToDepth(q.Quality, f.MaxTreeletDepth)
+	if q.PrevQuality >= q.Quality {
+		return s, false
+	}
+	if q.Bounds != nil && !q.Bounds.Overlaps(f.Domain) {
+		return s, false
+	}
+	s.masks = make([]bitmap.Bitmap, len(q.Filters))
+	for i, flt := range q.Filters {
+		if flt.Attr < 0 || flt.Attr >= f.Schema.NumAttrs() {
+			return s, false
+		}
+		m := bitmap.OfQuery(flt.Min, flt.Max, f.Ranges[flt.Attr])
+		if m == 0 {
+			// The filter interval misses the file's local range entirely.
+			return s, false
+		}
+		s.masks[i] = m
+	}
+	return s, true
+}
+
+// nodePassesBitmaps tests a node's bitmap IDs against every filter mask.
+func (s *queryState) nodePassesBitmaps(f *File, ids []bitmap.ID) bool {
+	for i, m := range s.masks {
+		if !f.dict.Lookup(ids[s.q.Filters[i].Attr]).Overlaps(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// pointPasses applies the exact false-positive checks (§V-A): point-in-box
+// and exact attribute intervals.
+func (s *queryState) pointPasses(p geom.Vec3, t *parsedTreelet, pi uint32) bool {
+	if s.q.Bounds != nil && !s.q.Bounds.Contains(p) {
+		return false
+	}
+	for _, flt := range s.q.Filters {
+		v := t.attrs[flt.Attr][pi]
+		if v < flt.Min || v > flt.Max {
+			return false
+		}
+	}
+	return true
+}
+
+// QueryStats reports what a traversal did: how many particles reached the
+// visitor, how many were rejected by the exact (false-positive) checks,
+// and how many subtrees the bitmaps and bounds pruned without touching
+// their particles.
+type QueryStats struct {
+	Visited        int64
+	FalsePositives int64
+	PrunedSubtrees int64
+}
+
+// Query traverses the file, invoking visit for every particle matching the
+// query. Particles are visited treelet by treelet in increasing depth
+// order within each treelet.
+func (f *File) Query(q Query, visit Visitor) error {
+	_, err := f.QueryWithStats(q, visit)
+	return err
+}
+
+// QueryWithStats is Query returning traversal statistics.
+func (f *File) QueryWithStats(q Query, visit Visitor) (QueryStats, error) {
+	s, ok := f.prepare(q, visit)
+	if !ok {
+		return QueryStats{}, nil
+	}
+	if len(f.leaves) == 0 {
+		return QueryStats{}, nil
+	}
+	var err error
+	if len(f.shallow) == 0 {
+		err = f.queryTreelet(s, 0)
+	} else {
+		err = f.queryShallow(s, 0, f.Domain, 0)
+	}
+	return QueryStats{
+		Visited:        s.numVisited,
+		FalsePositives: s.numFalsePos,
+		PrunedSubtrees: s.numPruned,
+	}, err
+}
+
+// queryShallow walks the shallow tree, pruning by bounds and bitmaps.
+func (f *File) queryShallow(s *queryState, ref int32, bounds geom.Box, depth int) error {
+	if li, isLeaf := isShallowLeaf(ref); isLeaf {
+		if !s.nodePassesBitmaps(f, f.leaves[li].ids) {
+			s.numPruned++
+			return nil
+		}
+		return f.queryTreelet(s, li)
+	}
+	if depth > maxSaneDepth {
+		return errCyclicTreelet
+	}
+	n := &f.shallow[ref]
+	if s.q.Bounds != nil && !s.q.Bounds.Overlaps(bounds) {
+		s.numPruned++
+		return nil
+	}
+	if !s.nodePassesBitmaps(f, n.ids) {
+		s.numPruned++
+		return nil
+	}
+	lo, hi := bounds.SplitAt(n.axis, n.pos)
+	if err := f.queryShallow(s, n.left, lo, depth+1); err != nil {
+		return err
+	}
+	return f.queryShallow(s, n.right, hi, depth+1)
+}
+
+// isShallowLeaf decodes a shallow-tree child reference.
+func isShallowLeaf(ref int32) (int, bool) {
+	if ref < 0 {
+		return int(^ref), true
+	}
+	return 0, false
+}
+
+// queryTreelet loads treelet li and walks it depth-first, emitting each
+// node's particle window for the progressive quality range.
+func (f *File) queryTreelet(s *queryState, li int) error {
+	t, err := f.loadTreelet(li)
+	if err != nil {
+		return err
+	}
+	if len(t.nodes) == 0 {
+		return nil
+	}
+	var rec func(ni int32, depth int) error
+	rec = func(ni int32, depth int) error {
+		if depth > s.curD {
+			return nil
+		}
+		// Defense against corrupt files whose child links form a cycle.
+		if depth > maxSaneDepth {
+			return errCyclicTreelet
+		}
+		n := &t.nodes[ni]
+		if !s.nodePassesBitmaps(f, n.ids) {
+			s.numPruned++
+			return nil
+		}
+		// Emit this node's particle window for the quality increment.
+		p0 := portion(depth, s.prevD, s.prevF)
+		p1 := portion(depth, s.curD, s.curF)
+		if p1 > p0 {
+			// Floor both window edges so consecutive progressive reads
+			// tile exactly: a later read's lower edge equals this read's
+			// upper edge.
+			lo := uint32(float64(n.count) * p0)
+			hi := uint32(float64(n.count) * p1)
+			if hi > n.count {
+				hi = n.count
+			}
+			for pi := n.start + lo; pi < n.start+hi; pi++ {
+				p := geom.V3(float64(t.x[pi]), float64(t.y[pi]), float64(t.z[pi]))
+				if !s.pointPasses(p, t, pi) {
+					s.numFalsePos++
+					continue
+				}
+				attrs := make([]float64, len(t.attrs))
+				for a := range attrs {
+					attrs[a] = t.attrs[a][pi]
+				}
+				s.numVisited++
+				if err := s.visit(p, attrs); err != nil {
+					return err
+				}
+			}
+		}
+		if n.axis == uint8(leafAxis) {
+			return nil
+		}
+		// Spatial pruning against the split plane.
+		if s.q.Bounds != nil {
+			ax := geom.Axis(n.axis)
+			if s.q.Bounds.Lower.Component(ax) >= n.pos {
+				return rec(n.right, depth+1)
+			}
+			if s.q.Bounds.Upper.Component(ax) < n.pos {
+				return rec(n.left, depth+1)
+			}
+		}
+		if err := rec(n.left, depth+1); err != nil {
+			return err
+		}
+		return rec(n.right, depth+1)
+	}
+	return rec(0, 0)
+}
+
+// CollectBox gathers every particle inside bounds into a new set; this is
+// the spatial read used by the parallel read pipeline's data servers.
+func (f *File) CollectBox(bounds geom.Box) (*particles.Set, error) {
+	out := particles.NewSet(f.Schema, 0)
+	err := f.Query(Query{Bounds: &bounds}, func(p geom.Vec3, attrs []float64) error {
+		out.Append(p, attrs)
+		return nil
+	})
+	return out, err
+}
+
+// ReadAll gathers every particle in the file into a new set.
+func (f *File) ReadAll() (*particles.Set, error) {
+	out := particles.NewSet(f.Schema, int(f.NumParticles))
+	err := f.Query(Query{}, func(p geom.Vec3, attrs []float64) error {
+		out.Append(p, attrs)
+		return nil
+	})
+	return out, err
+}
+
+// CountMatching returns the number of particles a query would visit; useful
+// for sizing receive buffers before a data transfer.
+func (f *File) CountMatching(q Query) (int64, error) {
+	var n int64
+	err := f.Query(q, func(geom.Vec3, []float64) error {
+		n++
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,604 @@
+// Reading, traversal, and progressive multiresolution queries over a
+// compacted BAT (paper §V). The reader parses the header (shallow tree +
+// bitmap dictionary) eagerly and loads 4 KB-aligned treelets lazily through
+// an io.ReaderAt, relying on the OS page cache for repeated access the way
+// the paper's memory-mapped implementation does.
+package bat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"libbat/internal/bitmap"
+	"libbat/internal/geom"
+	"libbat/internal/mmapio"
+	"libbat/internal/particles"
+)
+
+// shallowNode is a parsed shallow-tree inner node.
+type shallowNode struct {
+	axis        geom.Axis
+	pos         float64
+	left, right int32
+	ids         []bitmap.ID
+}
+
+// leafRef is a parsed shallow leaf: the location of its treelet and the
+// treelet's tight point bounds (the quantization frame).
+type leafRef struct {
+	offset    uint64
+	byteLen   uint32
+	numNodes  uint32
+	numPoints uint32
+	bounds    geom.Box
+	ids       []bitmap.ID
+}
+
+// diskNode is a parsed treelet node.
+type diskNode struct {
+	axis         uint8
+	pos          float64
+	left, right  int32
+	start, count uint32
+	ids          []bitmap.ID
+}
+
+// parsedTreelet is a treelet loaded into memory.
+type parsedTreelet struct {
+	nodes   []diskNode
+	x, y, z []float32
+	attrs   [][]float64
+}
+
+// File is an open BAT file (or in-memory buffer) ready for queries.
+type File struct {
+	src  io.ReaderAt
+	size int64
+
+	NumParticles    uint64
+	Quantized       bool
+	Domain          geom.Box
+	SubprefixBits   int
+	LODPerNode      int
+	MaxLeafSize     int
+	MaxTreeletDepth int
+	Schema          particles.Schema
+	// Ranges holds each attribute's aggregator-local value range, the
+	// reference frame of every bitmap in the file.
+	Ranges []bitmap.Range
+
+	shallow []shallowNode
+	leaves  []leafRef
+	dict    *bitmap.Dictionary
+
+	closer io.Closer
+
+	mu    sync.Mutex
+	cache map[int]*parsedTreelet
+}
+
+// cursor reads sequentially from an io.ReaderAt, buffering ahead.
+type cursor struct {
+	src  io.ReaderAt
+	size int64
+	off  int64
+	buf  []byte
+	pos  int
+}
+
+func (c *cursor) need(n int) ([]byte, error) {
+	for c.pos+n > len(c.buf) {
+		// Extend the buffer.
+		grow := 1 << 16
+		if grow < n {
+			grow = n
+		}
+		start := c.off + int64(len(c.buf))
+		if start >= c.size {
+			return nil, io.ErrUnexpectedEOF
+		}
+		if start+int64(grow) > c.size {
+			grow = int(c.size - start)
+		}
+		chunk := make([]byte, grow)
+		if _, err := c.src.ReadAt(chunk, start); err != nil {
+			return nil, err
+		}
+		c.buf = append(c.buf, chunk...)
+	}
+	b := c.buf[c.pos : c.pos+n]
+	c.pos += n
+	return b, nil
+}
+
+func (c *cursor) u8() (uint8, error) {
+	b, err := c.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	b, err := c.need(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	b, err := c.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	b, err := c.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (c *cursor) i32() (int32, error) {
+	v, err := c.u32()
+	return int32(v), err
+}
+
+func (c *cursor) f32() (float32, error) {
+	v, err := c.u32()
+	return math.Float32frombits(v), err
+}
+
+func (c *cursor) f64() (float64, error) {
+	v, err := c.u64()
+	return math.Float64frombits(v), err
+}
+
+func (c *cursor) box() (geom.Box, error) {
+	var vals [6]float64
+	for i := range vals {
+		v, err := c.f64()
+		if err != nil {
+			return geom.Box{}, err
+		}
+		vals[i] = v
+	}
+	return geom.NewBox(geom.V3(vals[0], vals[1], vals[2]), geom.V3(vals[3], vals[4], vals[5])), nil
+}
+
+func (c *cursor) ids(n int) ([]bitmap.ID, error) {
+	out := make([]bitmap.ID, n)
+	for i := range out {
+		v, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = bitmap.ID(v)
+	}
+	return out, nil
+}
+
+// Decode parses a BAT file image accessible through src.
+func Decode(src io.ReaderAt, size int64) (*File, error) {
+	c := &cursor{src: src, size: size}
+	mg, err := c.need(4)
+	if err != nil {
+		return nil, fmt.Errorf("bat: reading magic: %w", err)
+	}
+	if string(mg) != magic {
+		return nil, fmt.Errorf("bat: bad magic %q", mg)
+	}
+	ver, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("bat: unsupported version %d", ver)
+	}
+	flags, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	f := &File{src: src, size: size, cache: make(map[int]*parsedTreelet)}
+	f.Quantized = flags&flagQuantized != 0
+	if f.NumParticles, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if f.Domain, err = c.box(); err != nil {
+		return nil, err
+	}
+	var sb, lod, mls, mtd uint32
+	if sb, err = c.u32(); err != nil {
+		return nil, err
+	}
+	if lod, err = c.u32(); err != nil {
+		return nil, err
+	}
+	if mls, err = c.u32(); err != nil {
+		return nil, err
+	}
+	if mtd, err = c.u32(); err != nil {
+		return nil, err
+	}
+	f.SubprefixBits, f.LODPerNode, f.MaxLeafSize, f.MaxTreeletDepth = int(sb), int(lod), int(mls), int(mtd)
+	nA32, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	nA := int(nA32)
+	if nA > 4096 {
+		return nil, fmt.Errorf("bat: implausible attribute count %d", nA)
+	}
+	f.Schema = particles.Schema{Attrs: make([]particles.AttrDesc, nA)}
+	f.Ranges = make([]bitmap.Range, nA)
+	for a := 0; a < nA; a++ {
+		nameLen, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		nameB, err := c.need(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		name := string(nameB)
+		typ, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		f.Schema.Attrs[a] = particles.AttrDesc{Name: name, Type: particles.AttrType(typ)}
+		if f.Ranges[a].Min, err = c.f64(); err != nil {
+			return nil, err
+		}
+		if f.Ranges[a].Max, err = c.f64(); err != nil {
+			return nil, err
+		}
+	}
+	nInner, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	nLeaves, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Sanity: every record occupies at least shallowInnerBytes /
+	// shallowLeafBytes, so the counts cannot exceed the file size.
+	if int64(nInner)*int64(shallowInnerBytes+2*nA) > size ||
+		int64(nLeaves)*int64(shallowLeafBytes+2*nA) > size {
+		return nil, fmt.Errorf("bat: node counts %d/%d exceed file size %d", nInner, nLeaves, size)
+	}
+	f.shallow = make([]shallowNode, nInner)
+	for i := range f.shallow {
+		n := &f.shallow[i]
+		ax, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		n.axis = geom.Axis(ax)
+		if n.pos, err = c.f64(); err != nil {
+			return nil, err
+		}
+		if n.left, err = c.i32(); err != nil {
+			return nil, err
+		}
+		if n.right, err = c.i32(); err != nil {
+			return nil, err
+		}
+		if !validChildRef(n.left, int(nInner), int(nLeaves)) ||
+			!validChildRef(n.right, int(nInner), int(nLeaves)) {
+			return nil, fmt.Errorf("bat: shallow node %d has invalid children", i)
+		}
+		if n.ids, err = c.ids(nA); err != nil {
+			return nil, err
+		}
+	}
+	f.leaves = make([]leafRef, nLeaves)
+	for i := range f.leaves {
+		l := &f.leaves[i]
+		if l.offset, err = c.u64(); err != nil {
+			return nil, err
+		}
+		if l.byteLen, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if l.numNodes, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if l.numPoints, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if l.bounds, err = c.box(); err != nil {
+			return nil, err
+		}
+		if int64(l.offset) > size || int64(l.offset)+int64(l.byteLen) > size {
+			return nil, fmt.Errorf("bat: treelet %d extends past end of file", i)
+		}
+		if l.ids, err = c.ids(nA); err != nil {
+			return nil, err
+		}
+	}
+	dictLen, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if dictLen > bitmap.MaxDictSize {
+		return nil, fmt.Errorf("bat: dictionary size %d exceeds 16-bit ID space", dictLen)
+	}
+	entries := make([]bitmap.Bitmap, dictLen)
+	for i := range entries {
+		v, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = bitmap.Bitmap(v)
+	}
+	f.dict = bitmap.FromEntries(entries)
+	// Every stored bitmap ID must resolve in the dictionary.
+	for i := range f.shallow {
+		if err := f.checkIDs(f.shallow[i].ids); err != nil {
+			return nil, fmt.Errorf("bat: shallow node %d: %w", i, err)
+		}
+	}
+	for i := range f.leaves {
+		if err := f.checkIDs(f.leaves[i].ids); err != nil {
+			return nil, fmt.Errorf("bat: leaf %d: %w", i, err)
+		}
+	}
+	return f, nil
+}
+
+// validChildRef reports whether a shallow-tree child reference points at an
+// existing inner node or leaf.
+func validChildRef(ref int32, nInner, nLeaves int) bool {
+	if ref >= 0 {
+		return int(ref) < nInner
+	}
+	return int(^ref) < nLeaves
+}
+
+// checkIDs validates bitmap IDs against the dictionary.
+func (f *File) checkIDs(ids []bitmap.ID) error {
+	for _, id := range ids {
+		if int(id) >= f.dict.Len() {
+			return fmt.Errorf("bitmap ID %d outside dictionary of %d", id, f.dict.Len())
+		}
+	}
+	return nil
+}
+
+// FromBuffer opens an in-memory BAT image (e.g. for in-transit analysis on
+// an aggregator before the buffer is written to disk).
+func FromBuffer(buf []byte) (*File, error) {
+	return Decode(readerAt(buf), int64(len(buf)))
+}
+
+type readerAt []byte
+
+func (r readerAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(r)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// OpenMmap opens a BAT file through a read-only memory mapping (true mmap
+// on Linux, a whole-file read elsewhere), the paper's access mode for
+// visualization reads: the OS page cache backs repeated traversals and the
+// page-aligned treelets map cleanly (§V).
+func OpenMmap(path string) (*File, error) {
+	m, err := mmapio.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Decode(m, m.Size())
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	f.closer = m
+	return f, nil
+}
+
+// Open opens a BAT file on disk.
+func Open(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := fh.Stat()
+	if err != nil {
+		fh.Close()
+		return nil, err
+	}
+	f, err := Decode(fh, st.Size())
+	if err != nil {
+		fh.Close()
+		return nil, err
+	}
+	f.closer = fh
+	return f, nil
+}
+
+// Close releases the underlying file, if any.
+func (f *File) Close() error {
+	if f.closer != nil {
+		return f.closer.Close()
+	}
+	return nil
+}
+
+// SetCloser attaches a resource to release when the File is closed; used
+// by callers that Decode from their own file handles.
+func (f *File) SetCloser(c io.Closer) { f.closer = c }
+
+// NumTreelets returns the number of treelets (shallow leaves) in the file.
+func (f *File) NumTreelets() int { return len(f.leaves) }
+
+// RootBitmaps returns the file's whole-dataset bitmap per attribute (the
+// shallow tree root's bitmaps), in the file's local value ranges. This is
+// what an aggregator reports to rank 0 for the top-level metadata (§III-D).
+func (f *File) RootBitmaps() []bitmap.Bitmap {
+	nA := f.Schema.NumAttrs()
+	out := make([]bitmap.Bitmap, nA)
+	merge := func(ids []bitmap.ID) {
+		for a := 0; a < nA; a++ {
+			out[a] |= f.dict.Lookup(ids[a])
+		}
+	}
+	if len(f.shallow) > 0 {
+		merge(f.shallow[0].ids)
+		return out
+	}
+	for _, l := range f.leaves {
+		merge(l.ids)
+	}
+	return out
+}
+
+// loadTreelet parses (and caches) treelet ti.
+func (f *File) loadTreelet(ti int) (*parsedTreelet, error) {
+	f.mu.Lock()
+	if t, ok := f.cache[ti]; ok {
+		f.mu.Unlock()
+		return t, nil
+	}
+	f.mu.Unlock()
+
+	ref := f.leaves[ti]
+	buf := make([]byte, ref.byteLen)
+	if _, err := f.src.ReadAt(buf, int64(ref.offset)); err != nil {
+		return nil, fmt.Errorf("bat: reading treelet %d: %w", ti, err)
+	}
+	c := &cursor{src: readerAt(buf), size: int64(len(buf))}
+	nNodes, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	nPoints, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nNodes != ref.numNodes || nPoints != ref.numPoints {
+		return nil, fmt.Errorf("bat: treelet %d header mismatch: %d/%d nodes, %d/%d points",
+			ti, nNodes, ref.numNodes, nPoints, ref.numPoints)
+	}
+	nA := f.Schema.NumAttrs()
+	if int64(nNodes)*int64(treeletNodeBytes+2*nA) > int64(ref.byteLen) ||
+		int64(nPoints)*6 > int64(ref.byteLen) {
+		return nil, fmt.Errorf("bat: treelet %d counts exceed its byte length", ti)
+	}
+	t := &parsedTreelet{nodes: make([]diskNode, nNodes)}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		if n.axis, err = c.u8(); err != nil {
+			return nil, err
+		}
+		if n.pos, err = c.f64(); err != nil {
+			return nil, err
+		}
+		if n.left, err = c.i32(); err != nil {
+			return nil, err
+		}
+		if n.right, err = c.i32(); err != nil {
+			return nil, err
+		}
+		if n.start, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if n.count, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if n.start+n.count < n.start || n.start+n.count > nPoints {
+			return nil, fmt.Errorf("bat: treelet %d node %d particle range out of bounds", ti, i)
+		}
+		if n.axis != uint8(leafAxis) &&
+			(n.left < 0 || n.left >= int32(nNodes) || n.right < 0 || n.right >= int32(nNodes)) {
+			return nil, fmt.Errorf("bat: treelet %d node %d has invalid children", ti, i)
+		}
+		if n.ids, err = c.ids(nA); err != nil {
+			return nil, err
+		}
+		if err := f.checkIDs(n.ids); err != nil {
+			return nil, fmt.Errorf("bat: treelet %d node %d: %w", ti, i, err)
+		}
+	}
+	readF32s := func() ([]float32, error) {
+		out := make([]float32, nPoints)
+		for i := range out {
+			if out[i], err = c.f32(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	// Quantized positions decode to the center of their 16-bit cell
+	// within the treelet bounds.
+	readQ16s := func(lo, extent float64) ([]float32, error) {
+		out := make([]float32, nPoints)
+		for i := range out {
+			q, err := c.u16()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = float32(lo + (float64(q)+0.5)/65536*extent)
+		}
+		return out, nil
+	}
+	if f.Quantized {
+		b := ref.bounds
+		sz := b.Size()
+		if t.x, err = readQ16s(b.Lower.X, sz.X); err != nil {
+			return nil, err
+		}
+		if t.y, err = readQ16s(b.Lower.Y, sz.Y); err != nil {
+			return nil, err
+		}
+		if t.z, err = readQ16s(b.Lower.Z, sz.Z); err != nil {
+			return nil, err
+		}
+	} else {
+		if t.x, err = readF32s(); err != nil {
+			return nil, err
+		}
+		if t.y, err = readF32s(); err != nil {
+			return nil, err
+		}
+		if t.z, err = readF32s(); err != nil {
+			return nil, err
+		}
+	}
+	t.attrs = make([][]float64, nA)
+	for a := 0; a < nA; a++ {
+		vals := make([]float64, nPoints)
+		for i := range vals {
+			if f.Schema.Attrs[a].Type == particles.Float32 {
+				v, err := c.f32()
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = float64(v)
+			} else {
+				if vals[i], err = c.f64(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		t.attrs[a] = vals
+	}
+	f.mu.Lock()
+	f.cache[ti] = t
+	f.mu.Unlock()
+	return t, nil
+}

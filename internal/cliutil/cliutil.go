@@ -1,0 +1,46 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses a human byte size such as "8MB", "512KB", "1.5GB", or a
+// plain byte count.
+func ParseSize(s string) (int64, error) {
+	mul := int64(1)
+	up := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(up, "GB"):
+		mul, up = 1<<30, strings.TrimSuffix(up, "GB")
+	case strings.HasSuffix(up, "MB"):
+		mul, up = 1<<20, strings.TrimSuffix(up, "MB")
+	case strings.HasSuffix(up, "KB"):
+		mul, up = 1<<10, strings.TrimSuffix(up, "KB")
+	case strings.HasSuffix(up, "B"):
+		up = strings.TrimSuffix(up, "B")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(up), 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative size %q", s)
+	}
+	return int64(v * float64(mul)), nil
+}
+
+// FormatSize renders a byte count with a binary unit suffix.
+func FormatSize(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,59 @@
+package cliutil
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"8MB":   8 << 20,
+		"512KB": 512 << 10,
+		"1.5GB": 3 << 29,
+		"1234":  1234,
+		"100B":  100,
+		" 2mb ": 2 << 20,
+		"0":     0,
+		"0.5MB": 1 << 19,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil {
+			t.Errorf("ParseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "12XB", "-5MB"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) should error", bad)
+		}
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := map[int64]string{
+		100:         "100B",
+		2048:        "2.0KB",
+		8 << 20:     "8.0MB",
+		3 << 29:     "1.5GB",
+		1<<20 + 512: "1.0MB",
+	}
+	for in, want := range cases {
+		if got := FormatSize(in); got != want {
+			t.Errorf("FormatSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, b := range []int64{100, 2048, 8 << 20, 1 << 30} {
+		s := FormatSize(b)
+		got, err := ParseSize(s)
+		if err != nil {
+			t.Fatalf("round trip %d -> %q: %v", b, s, err)
+		}
+		if got != b {
+			t.Errorf("round trip %d -> %q -> %d", b, s, got)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package convert
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"libbat/internal/core"
+	"libbat/internal/geom"
+	"libbat/internal/particles"
+	"libbat/internal/pfs"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := "x,y,z,mass,temp\n1,2,3,0.5,300\n4,5,6,0.7,310\n"
+	set, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("Len = %d", set.Len())
+	}
+	if set.Schema.NumAttrs() != 2 || set.Schema.Attrs[0].Name != "mass" {
+		t.Errorf("schema = %+v", set.Schema)
+	}
+	if set.Position(0) != geom.V3(1, 2, 3) || set.Attrs[1][1] != 310 {
+		t.Error("values wrong")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no header
+		"x,y\n",                 // too few columns
+		"a,y,z\n",               // wrong position column
+		"x,y,z,m\n1,2,3\n",      // short row (csv lib catches)
+		"x,y,z,m\n1,2,zap,4\n",  // bad number
+		"x,y,z,m\n1,2,3,zing\n", // bad attribute
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should error", in)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	set := particles.NewSet(particles.NewSchema("a", "b"), 100)
+	for i := 0; i < 100; i++ {
+		set.Append(geom.V3(r.Float64(), r.Float64(), r.Float64()),
+			[]float64{r.NormFloat64(), float64(i)})
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 100 {
+		t.Fatalf("round trip %d particles", got.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got.X[i] != set.X[i] || got.Attrs[1][i] != set.Attrs[1][i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestToDataset(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	set := particles.NewSet(particles.NewSchema("v"), 5000)
+	for i := 0; i < 5000; i++ {
+		// Offset, non-unit domain to exercise bounds handling.
+		set.Append(geom.V3(10+r.Float64()*4, -3+r.Float64(), r.Float64()*2),
+			[]float64{r.Float64()})
+	}
+	store := pfs.NewMem()
+	stats, err := ToDataset(set, store, "conv", Options{
+		VirtualRanks: 8,
+		Write:        core.DefaultWriteConfig(20 * 1024),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalCount != 5000 {
+		t.Fatalf("wrote %d", stats.TotalCount)
+	}
+	names, _ := store.List()
+	if len(names) < 2 {
+		t.Fatalf("files = %v", names)
+	}
+}
+
+func TestToDatasetDefaults(t *testing.T) {
+	set := particles.NewSet(particles.NewSchema("v"), 100)
+	for i := 0; i < 100; i++ {
+		set.Append(geom.V3(float64(i), 0, 0), []float64{1})
+	}
+	store := pfs.NewMem()
+	stats, err := ToDataset(set, store, "d", Options{Write: core.DefaultWriteConfig(1 << 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalCount != 100 {
+		t.Fatalf("wrote %d", stats.TotalCount)
+	}
+}
+
+func TestToDatasetBoundaryParticles(t *testing.T) {
+	// Particles exactly on the global max corner must land in a rank.
+	set := particles.NewSet(particles.NewSchema("v"), 0)
+	for i := 0; i < 64; i++ {
+		set.Append(geom.V3(float64(i%4), float64(i/4%4), float64(i/16)), []float64{1})
+	}
+	store := pfs.NewMem()
+	stats, err := ToDataset(set, store, "edge", Options{
+		VirtualRanks: 8,
+		Write:        core.DefaultWriteConfig(1 << 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalCount != 64 {
+		t.Fatalf("wrote %d of 64", stats.TotalCount)
+	}
+}

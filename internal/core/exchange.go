@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"libbat/internal/fabric"
+	"libbat/internal/particles"
+)
+
+// tagExchange is reserved for Exchange's payloads.
+const tagExchange = 1 << 20
+
+// Exchange performs an all-to-all particle migration: outgoing[r] is the
+// set this rank sends to rank r (outgoing[self] is kept locally), and the
+// result is everything destined for this rank. Simulations use it to
+// rebalance particles onto their owning ranks before a collective Write,
+// restoring the invariant that a rank's particles lie inside its declared
+// bounds. All sets must share one schema; outgoing may contain nils for
+// empty destinations.
+func Exchange(c *fabric.Comm, schema particles.Schema, outgoing []*particles.Set) (*particles.Set, error) {
+	if len(outgoing) != c.Size() {
+		return nil, fmt.Errorf("core: Exchange needs one destination set per rank (%d != %d)",
+			len(outgoing), c.Size())
+	}
+	empty := particles.NewSet(schema, 0)
+	for r, s := range outgoing {
+		if r == c.Rank() {
+			continue
+		}
+		if s == nil {
+			s = empty
+		}
+		if !s.Schema.Equal(schema) {
+			return nil, fmt.Errorf("core: Exchange destination %d has a different schema", r)
+		}
+		c.Isend(r, tagExchange, s.Marshal())
+	}
+	mine := particles.NewSet(schema, 0)
+	if own := outgoing[c.Rank()]; own != nil {
+		mine.AppendSet(own)
+	}
+	for n := 0; n < c.Size()-1; n++ {
+		raw, st := c.Recv(fabric.AnySource, tagExchange)
+		part, err := particles.Unmarshal(raw, schema)
+		if err != nil {
+			return nil, fmt.Errorf("core: Exchange payload from rank %d: %w", st.Source, err)
+		}
+		mine.AppendSet(part)
+	}
+	return mine, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"libbat/internal/bat"
+	"libbat/internal/bitmap"
+	"libbat/internal/geom"
+	"libbat/internal/particles"
+)
+
+// Layout builds an aggregation leaf's on-disk image. The paper's §VII
+// outlook proposes letting users plug their own layout into the adaptive
+// aggregation pipeline — e.g. a format an existing analysis stack already
+// consumes — while keeping the load balancing and the top-level metadata;
+// this interface is that extension point. The default layout is the BAT.
+//
+// A custom layout's files are written and indexed exactly like BAT leaves
+// (bounds, counts, value ranges, root bitmaps in the metadata), but the
+// collective Read pipeline and Dataset queries only understand the BAT
+// format; consumers of a custom layout bring their own reader.
+type Layout interface {
+	// Name identifies the layout in diagnostics.
+	Name() string
+	// Build produces the leaf file image for the particles received by an
+	// aggregator. bounds is the leaf's spatial region.
+	Build(set *particles.Set, bounds geom.Box) (LayoutResult, error)
+}
+
+// LayoutResult is a built leaf image plus the summary rank 0 needs for the
+// top-level metadata (§III-D).
+type LayoutResult struct {
+	Buf         []byte
+	LocalRanges []bitmap.Range
+	RootBitmaps []bitmap.Bitmap
+}
+
+// batLayout is the default Layout: the paper's Binned Attribute Tree.
+type batLayout struct {
+	cfg bat.BuildConfig
+}
+
+func (l batLayout) Name() string { return "bat" }
+
+func (l batLayout) Build(set *particles.Set, bounds geom.Box) (LayoutResult, error) {
+	built, err := bat.Build(set, bounds, l.cfg)
+	if err != nil {
+		return LayoutResult{}, err
+	}
+	f, err := bat.FromBuffer(built.Buf)
+	if err != nil {
+		return LayoutResult{}, err
+	}
+	return LayoutResult{
+		Buf:         built.Buf,
+		LocalRanges: f.Ranges,
+		RootBitmaps: f.RootBitmaps(),
+	}, nil
+}
+
+// RawLayout is a minimal example Layout: particles serialized as flat
+// arrays (the conventional simulation dump format the paper's
+// introduction contrasts against). It exists for tests and as a template
+// for integrating external formats.
+type RawLayout struct{}
+
+// Name implements Layout.
+func (RawLayout) Name() string { return "raw" }
+
+// Build implements Layout.
+func (RawLayout) Build(set *particles.Set, _ geom.Box) (LayoutResult, error) {
+	nA := set.Schema.NumAttrs()
+	res := LayoutResult{
+		Buf:         set.Marshal(),
+		LocalRanges: make([]bitmap.Range, nA),
+		RootBitmaps: make([]bitmap.Bitmap, nA),
+	}
+	for a := 0; a < nA; a++ {
+		r := set.AttrRange(a)
+		res.LocalRanges[a] = r
+		res.RootBitmaps[a] = bitmap.OfValues(set.Attrs[a], r)
+	}
+	return res, nil
+}

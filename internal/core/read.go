@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"libbat/internal/bat"
+	"libbat/internal/fabric"
+	"libbat/internal/geom"
+	"libbat/internal/meta"
+	"libbat/internal/particles"
+	"libbat/internal/pfs"
+)
+
+// ReadStats reports what one rank observed during a collective read.
+type ReadStats struct {
+	Metadata  time.Duration // reading + parsing the aggregation tree file
+	FileRead  time.Duration // opening and querying leaf files (aggregator side)
+	Transfer  time.Duration // waiting for and receiving remote replies
+	NumFiles  int           // leaf files this rank served as read aggregator
+	Particles int           // particles returned to this rank
+}
+
+// Total returns the rank's end-to-end read time.
+func (s *ReadStats) Total() time.Duration {
+	return s.Metadata + s.FileRead + s.Transfer
+}
+
+// ReadAggregator returns the rank assigned to read leaf li of nLeaves in a
+// world of size ranks: with more ranks than files, readers are spread
+// evenly through the rank space as in the write phase; with fewer, files
+// are dealt round-robin over the ranks (§IV-A).
+func ReadAggregator(li, nLeaves, size int) int {
+	if nLeaves <= size {
+		return li * size / nLeaves
+	}
+	return li % size
+}
+
+// Read performs the two-phase parallel read (Figure 3). It is collective:
+// every rank calls it with the spatial bounds it wants (a checkpoint
+// restart read passes the rank's own domain bounds). It returns the
+// particles inside bounds.
+func Read(c *fabric.Comm, store pfs.Storage, base string, bounds geom.Box) (*particles.Set, *ReadStats, error) {
+	return ReadQuery(c, store, base, bat.Query{Bounds: &bounds})
+}
+
+// ReadQuery is the general form of Read: each rank supplies a full
+// visualization-style query (spatial bounds, attribute filters, and a
+// progressive quality window), which the read aggregators evaluate against
+// their leaf files. This is the distributed in situ analytics access path
+// the paper's §IV-B describes. Ranks may pass different queries; a rank
+// wanting nothing passes a query with empty bounds.
+func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*particles.Set, *ReadStats, error) {
+	stats := &ReadStats{}
+
+	// Phase a: every rank reads the aggregation tree metadata.
+	metaStart := time.Now()
+	m, err := readMeta(store, MetaFileName(base))
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Metadata = time.Since(metaStart)
+	nLeaves := len(m.Leaves)
+	if nLeaves == 0 {
+		c.Barrier()
+		return particles.NewSet(m.Schema, 0), stats, nil
+	}
+
+	// Phase b: determine which leaves this rank's query can touch and who
+	// reads them; the assignment is computed locally on every rank
+	// (§IV-A). The aggregation tree prunes spatially and by the global
+	// attribute bitmaps before any file is contacted.
+	var metaFilters []meta.AttrFilter
+	for _, f := range q.Filters {
+		metaFilters = append(metaFilters, meta.AttrFilter{Attr: f.Attr, Min: f.Min, Max: f.Max})
+	}
+	want := m.SelectLeaves(q.Bounds, metaFilters)
+
+	// Phase c: client-server query loop with a nonblocking barrier
+	// (§IV-B). Queries to leaves this rank reads itself are answered
+	// locally after the remote queries are issued.
+	xferStart := time.Now()
+	out := particles.NewSet(m.Schema, 0)
+	var selfLeaves []int
+	pending := 0
+	qm := queryMsg{Bounds: q.Bounds, Filters: q.Filters, PrevQ: q.PrevQuality, Quality: q.Quality}
+	for _, li := range want {
+		reader := ReadAggregator(li, nLeaves, c.Size())
+		if reader == c.Rank() {
+			selfLeaves = append(selfLeaves, li)
+			continue
+		}
+		qm.Leaf = li
+		c.Isend(reader, tagQuery, encode(qm))
+		pending++
+	}
+
+	// Serve queries for the leaves assigned to this rank while collecting
+	// replies; cache opened files across queries. Errors (e.g. a damaged
+	// leaf file) must not abandon the collective protocol — the rank
+	// keeps serving and answering with error replies so every rank exits
+	// the loop, then reports the first error.
+	var firstErr error
+	note := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	files := map[int]*bat.File{}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	serveOne := func() bool {
+		st, ok := c.Probe(fabric.AnySource, tagQuery)
+		if !ok {
+			return false
+		}
+		raw, _ := c.Recv(st.Source, tagQuery)
+		var rq queryMsg
+		if err := decode(raw, &rq); err != nil {
+			note(err)
+			c.Isend(st.Source, tagReply, replyError(err))
+			return true
+		}
+		sub, err := queryLeaf(store, m, files, rq.Leaf, rq.toBAT(), stats)
+		if err != nil {
+			note(err)
+			c.Isend(st.Source, tagReply, replyError(err))
+			return true
+		}
+		c.Isend(st.Source, tagReply, replyData(sub))
+		return true
+	}
+	recvOne := func() bool {
+		if pending == 0 {
+			return false
+		}
+		st, ok := c.Probe(fabric.AnySource, tagReply)
+		if !ok {
+			return false
+		}
+		raw, _ := c.Recv(st.Source, tagReply)
+		part, err := parseReply(raw, m.Schema)
+		if err != nil {
+			note(fmt.Errorf("core: reply from rank %d: %w", st.Source, err))
+		} else {
+			out.AppendSet(part)
+		}
+		pending--
+		return true
+	}
+
+	// Answer self-queries once, locally (§IV-B: "if a rank requires data
+	// from itself, it performs these queries locally").
+	for _, li := range selfLeaves {
+		sub, err := queryLeaf(store, m, files, li, q, stats)
+		if err != nil {
+			note(err)
+			continue
+		}
+		out.AppendSet(sub)
+	}
+
+	var barrier *fabric.BarrierRequest
+	for {
+		served := serveOne()
+		received := recvOne()
+		if barrier == nil && pending == 0 {
+			// All of this rank's data has arrived: enter the nonblocking
+			// barrier and keep serving until everyone is done.
+			barrier = c.Ibarrier()
+		}
+		if barrier != nil && barrier.Test() {
+			break
+		}
+		if !served && !received {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	stats.Transfer = time.Since(xferStart) - stats.FileRead
+	if stats.Transfer < 0 {
+		stats.Transfer = 0
+	}
+	stats.Particles = out.Len()
+	return out, stats, nil
+}
+
+// Reply framing: one status byte (0 = data, 1 = error) followed by either
+// a marshaled particle set or an error string.
+const (
+	replyOK   = 0
+	replyFail = 1
+)
+
+func replyData(s *particles.Set) []byte {
+	return append([]byte{replyOK}, s.Marshal()...)
+}
+
+func replyError(err error) []byte {
+	return append([]byte{replyFail}, err.Error()...)
+}
+
+func parseReply(raw []byte, schema particles.Schema) (*particles.Set, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("empty reply")
+	}
+	if raw[0] == replyFail {
+		return nil, fmt.Errorf("server error: %s", raw[1:])
+	}
+	return particles.Unmarshal(raw[1:], schema)
+}
+
+// readMeta loads and parses the metadata file.
+func readMeta(store pfs.Storage, name string) (*meta.Meta, error) {
+	f, err := store.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return meta.Decode(buf)
+}
+
+// queryLeaf answers one query against a leaf file, opening (and caching)
+// it on first use.
+func queryLeaf(store pfs.Storage, m *meta.Meta, files map[int]*bat.File,
+	li int, q bat.Query, stats *ReadStats) (*particles.Set, error) {
+
+	start := time.Now()
+	f, ok := files[li]
+	if !ok {
+		handle, err := store.Open(m.Leaves[li].FileName)
+		if err != nil {
+			return nil, fmt.Errorf("core: opening leaf %d: %w", li, err)
+		}
+		f, err = bat.Decode(handle, handle.Size())
+		if err != nil {
+			handle.Close()
+			return nil, fmt.Errorf("core: parsing leaf %d: %w", li, err)
+		}
+		f.SetCloser(handle)
+		files[li] = f
+		stats.NumFiles++
+	}
+	sub := particles.NewSet(f.Schema, 0)
+	err := f.Query(q, func(p geom.Vec3, attrs []float64) error {
+		sub.Append(p, attrs)
+		return nil
+	})
+	stats.FileRead += time.Since(start)
+	return sub, err
+}

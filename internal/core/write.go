@@ -1,0 +1,410 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"libbat/internal/aggtree"
+	"libbat/internal/aug"
+	"libbat/internal/bat"
+	"libbat/internal/fabric"
+	"libbat/internal/geom"
+	"libbat/internal/meta"
+	"libbat/internal/particles"
+	"libbat/internal/pfs"
+)
+
+// Strategy selects the aggregation algorithm.
+type Strategy int
+
+// Aggregation strategies: the paper's adaptive tree and the AUG baseline
+// of Kumar et al. [27], implemented within the library for a direct
+// algorithmic comparison (§VI-A.2).
+const (
+	Adaptive Strategy = iota
+	AUG
+)
+
+func (s Strategy) String() string {
+	if s == AUG {
+		return "aug"
+	}
+	return "adaptive"
+}
+
+// WriteConfig configures a collective write.
+type WriteConfig struct {
+	// TargetFileSize is the tunable aggregation granularity (bytes).
+	TargetFileSize int64
+	// Strategy picks adaptive (default) or AUG aggregation.
+	Strategy Strategy
+	// Tree holds the adaptive tree options; TargetFileSize and
+	// BytesPerParticle are filled in from this config and the schema.
+	Tree aggtree.Config
+	// BAT holds the layout build options.
+	BAT bat.BuildConfig
+	// Layout overrides the leaf file format (nil = the BAT). See the
+	// Layout interface for the contract and caveats.
+	Layout Layout
+}
+
+// DefaultWriteConfig returns the paper's evaluation configuration for the
+// given target file size.
+func DefaultWriteConfig(targetFileSize int64) WriteConfig {
+	return WriteConfig{
+		TargetFileSize: targetFileSize,
+		Strategy:       Adaptive,
+		Tree:           aggtree.DefaultConfig(targetFileSize, 1), // bpp fixed at write time
+		BAT:            bat.DefaultBuildConfig(),
+	}
+}
+
+// WriteStats reports what one rank observed during a collective write.
+// Rank 0's copy includes the plan-wide fields (NumFiles, leaf stats).
+type WriteStats struct {
+	// Per-phase wall-clock time on this rank.
+	TreeBuild     time.Duration
+	GatherScatter time.Duration
+	Transfer      time.Duration
+	BATBuild      time.Duration
+	FileWrite     time.Duration
+	Metadata      time.Duration
+
+	// Plan-wide information (valid on rank 0).
+	NumFiles   int
+	TotalCount int64
+	LeafSizes  aggtree.SizeStats
+	// PhaseMax holds the per-phase maximum across all ranks (valid on
+	// rank 0) — the critical-path view the paper's breakdown figures
+	// plot, since the slowest rank gates each phase.
+	PhaseMax *PhaseTimes
+}
+
+// PhaseTimes is one rank's (or the critical-path) phase timing vector.
+type PhaseTimes struct {
+	TreeBuild     time.Duration
+	GatherScatter time.Duration
+	Transfer      time.Duration
+	BATBuild      time.Duration
+	FileWrite     time.Duration
+	Metadata      time.Duration
+}
+
+// Total sums the phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.TreeBuild + p.GatherScatter + p.Transfer + p.BATBuild + p.FileWrite + p.Metadata
+}
+
+func (s *WriteStats) phases() PhaseTimes {
+	return PhaseTimes{
+		TreeBuild:     s.TreeBuild,
+		GatherScatter: s.GatherScatter,
+		Transfer:      s.Transfer,
+		BATBuild:      s.BATBuild,
+		FileWrite:     s.FileWrite,
+		Metadata:      s.Metadata,
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Total returns the rank's end-to-end write time.
+func (s *WriteStats) Total() time.Duration {
+	return s.TreeBuild + s.GatherScatter + s.Transfer + s.BATBuild + s.FileWrite + s.Metadata
+}
+
+// LeafFileName names the BAT file of one aggregation leaf.
+func LeafFileName(base string, leaf int) string {
+	return fmt.Sprintf("%s.l%05d.bat", base, leaf)
+}
+
+// MetaFileName names the top-level metadata file.
+func MetaFileName(base string) string { return base + ".batm" }
+
+// Write performs the paper's spatially aware adaptive two-phase write. It
+// is collective: every rank of the fabric must call it with its local
+// particles (which may be empty) and its spatial bounds. Files are written
+// to store under base; rank 0 additionally writes the top-level metadata.
+//
+// Failures anywhere in the pipeline (a bad plan, a failed leaf build or
+// file write) complete the collective protocol before surfacing, so no
+// rank is left deadlocked; the failing ranks (and rank 0) return the
+// error.
+func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
+	bounds geom.Box, cfg WriteConfig) (*WriteStats, error) {
+
+	stats := &WriteStats{}
+	schema := local.Schema
+	bpp := schema.BytesPerParticle()
+
+	// Phase a: gather counts and bounds on rank 0, build the plan, and
+	// scatter assignments (Figure 1a).
+	start := time.Now()
+	infos := c.Gather(0, encode(infoMsg{Count: int64(local.Len()), Bounds: bounds}))
+	var asg assignMsg
+	var tree *aggtree.Tree
+	var leaves []aggtree.Leaf
+	if c.Rank() == 0 {
+		planErr := func() error {
+			ranks := make([]aggtree.RankInfo, c.Size())
+			for r, raw := range infos {
+				var im infoMsg
+				if err := decode(raw, &im); err != nil {
+					return fmt.Errorf("core: decoding rank %d info: %w", r, err)
+				}
+				ranks[r] = aggtree.RankInfo{Rank: r, Bounds: im.Bounds, Count: im.Count}
+			}
+			treeStart := time.Now()
+			var err error
+			switch cfg.Strategy {
+			case AUG:
+				leaves, err = aug.Build(ranks, aug.Config{
+					TargetFileSize:   cfg.TargetFileSize,
+					BytesPerParticle: bpp,
+				})
+			default:
+				tcfg := cfg.Tree
+				tcfg.TargetFileSize = cfg.TargetFileSize
+				tcfg.BytesPerParticle = bpp
+				tree, err = aggtree.Build(ranks, tcfg)
+				if tree != nil {
+					leaves = tree.Leaves
+				}
+			}
+			if err != nil {
+				return err
+			}
+			stats.TreeBuild = time.Since(treeStart)
+			rankAgg := aggtree.AssignAggregators(leaves, c.Size())
+			if tree != nil {
+				tree.Leaves = leaves
+			}
+			stats.NumFiles = len(leaves)
+			stats.LeafSizes = aggtree.LeafSizeStats(leaves, bpp)
+			for _, l := range leaves {
+				stats.TotalCount += l.Count
+			}
+			// Build per-rank assignment messages.
+			msgs := make([]assignMsg, c.Size())
+			for r := range msgs {
+				msgs[r].Aggregator = rankAgg[r]
+			}
+			for li, l := range leaves {
+				la := leafAssign{Leaf: li, Bounds: l.Bounds}
+				for _, r := range l.Ranks {
+					la.Senders = append(la.Senders, r)
+					la.Counts = append(la.Counts, ranks[r].Count)
+				}
+				msgs[l.Aggregator].Leaves = append(msgs[l.Aggregator].Leaves, la)
+			}
+			parts := make([][]byte, c.Size())
+			for r := range parts {
+				parts[r] = encode(msgs[r])
+			}
+			return decode(c.Scatterv(0, parts), &asg)
+		}()
+		if planErr != nil {
+			// Planning failed: tell every rank to abort collectively.
+			abort := encode(assignMsg{Abort: planErr.Error()})
+			parts := make([][]byte, c.Size())
+			for r := range parts {
+				parts[r] = abort
+			}
+			c.Scatterv(0, parts)
+			c.Barrier()
+			return nil, planErr
+		}
+	} else {
+		if err := decode(c.Scatterv(0, nil), &asg); err != nil {
+			return nil, err
+		}
+		if asg.Abort != "" {
+			c.Barrier()
+			return nil, fmt.Errorf("core: write aborted by rank 0: %s", asg.Abort)
+		}
+	}
+	stats.GatherScatter = time.Since(start) - stats.TreeBuild
+
+	bodyErr := writeBody(c, store, base, local, cfg, asg, schema, stats)
+
+	// Gather every rank's phase timings so rank 0 can report the
+	// critical-path breakdown (the view Figures 6/10/12 plot).
+	phaseGather := c.Gather(0, encode(stats.phases()))
+
+	if c.Rank() == 0 {
+		pm := &PhaseTimes{}
+		for r, raw := range phaseGather {
+			var pt PhaseTimes
+			if err := decode(raw, &pt); err != nil {
+				return nil, fmt.Errorf("core: decoding rank %d timings: %w", r, err)
+			}
+			pm.TreeBuild = maxDur(pm.TreeBuild, pt.TreeBuild)
+			pm.GatherScatter = maxDur(pm.GatherScatter, pt.GatherScatter)
+			pm.Transfer = maxDur(pm.Transfer, pt.Transfer)
+			pm.BATBuild = maxDur(pm.BATBuild, pt.BATBuild)
+			pm.FileWrite = maxDur(pm.FileWrite, pt.FileWrite)
+			pm.Metadata = maxDur(pm.Metadata, pt.Metadata)
+		}
+		stats.PhaseMax = pm
+
+		// Phase d: gather the aggregators' reports and write the
+		// top-level metadata (Figure 1d). Error-marked reports poison the
+		// write but are still collected so the collective completes.
+		metaStart := time.Now()
+		reports := make([]meta.LeafReport, 0, len(leaves))
+		var leafErr error
+		for received := 0; received < len(leaves); received++ {
+			raw, _ := c.Recv(fabric.AnySource, tagReport)
+			var rm reportMsg
+			if err := decode(raw, &rm); err != nil {
+				leafErr = fmt.Errorf("core: decoding report: %w", err)
+				continue
+			}
+			if rm.Err != "" {
+				if leafErr == nil {
+					leafErr = fmt.Errorf("core: leaf %d failed: %s", rm.Leaf, rm.Err)
+				}
+				continue
+			}
+			reports = append(reports, rm.toMeta())
+		}
+		if leafErr == nil && bodyErr == nil {
+			m, err := meta.Build(tree, leaves, schema, reports)
+			if err == nil {
+				err = store.WriteFile(MetaFileName(base), m.Encode())
+			}
+			leafErr = err
+		}
+		stats.Metadata = time.Since(metaStart)
+		pm.Metadata = maxDur(pm.Metadata, stats.Metadata)
+		c.Barrier()
+		if bodyErr != nil {
+			return nil, bodyErr
+		}
+		if leafErr != nil {
+			return nil, leafErr
+		}
+		return stats, nil
+	}
+
+	c.Barrier()
+	if bodyErr != nil {
+		return nil, bodyErr
+	}
+	return stats, nil
+}
+
+// writeBody runs phases b-c on every rank: send local data to the
+// assigned aggregator, and, when aggregating, receive each leaf's data,
+// build its BAT, write the file, and report to rank 0.
+func writeBody(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
+	cfg WriteConfig, asg assignMsg, schema particles.Schema, stats *WriteStats) error {
+
+	// Phase b: nonblocking send of local data to the aggregator
+	// (Figure 1b). Ranks without particles skip the transfer.
+	xferStart := time.Now()
+	if local.Len() > 0 {
+		if asg.Aggregator < 0 {
+			return fmt.Errorf("core: rank %d has %d particles but no aggregator", c.Rank(), local.Len())
+		}
+		if asg.Aggregator != c.Rank() {
+			c.Isend(asg.Aggregator, tagData, local.Marshal())
+		}
+	}
+
+	layout := cfg.Layout
+	if layout == nil {
+		layout = batLayout{cfg: cfg.BAT}
+	}
+
+	// Phase c: aggregate each assigned leaf (Figure 1c). No leaf
+	// subcommunicators exist — an aggregator may serve a leaf it is not a
+	// member of, so transfers are plain point-to-point (§III-B). A failed
+	// leaf sends an error report so rank 0's collection (and the final
+	// barrier) still complete.
+	var firstErr error
+	for _, la := range asg.Leaves {
+		report, err := aggregateLeaf(c, store, base, local, layout, la, schema, stats, &xferStart)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			report = reportMsg{Leaf: la.Leaf, Err: err.Error()}
+		}
+		c.Isend(0, tagReport, encode(report))
+	}
+	if len(asg.Leaves) == 0 {
+		stats.Transfer += time.Since(xferStart)
+	}
+	return firstErr
+}
+
+// aggregateLeaf receives one leaf's particles, builds its layout, and
+// writes the file, returning the report for rank 0. Incoming transfers are
+// always drained, even on failure, so no stray messages survive the call.
+func aggregateLeaf(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
+	layout Layout, la leafAssign, schema particles.Schema, stats *WriteStats,
+	xferStart *time.Time) (reportMsg, error) {
+
+	var total int64
+	for _, n := range la.Counts {
+		total += n
+	}
+	combined := particles.NewSet(schema, int(total))
+	reqs := make([]*fabric.Request, 0, len(la.Senders))
+	for _, s := range la.Senders {
+		if s == c.Rank() {
+			combined.AppendSet(local)
+			continue
+		}
+		reqs = append(reqs, c.Irecv(s, tagData))
+	}
+	var recvErr error
+	for _, r := range reqs {
+		raw, _ := r.Wait()
+		part, err := particles.Unmarshal(raw, schema)
+		if err != nil {
+			recvErr = fmt.Errorf("core: leaf %d: %w", la.Leaf, err)
+			continue
+		}
+		combined.AppendSet(part)
+	}
+	if recvErr != nil {
+		return reportMsg{}, recvErr
+	}
+	if int64(combined.Len()) != total {
+		return reportMsg{}, fmt.Errorf("core: leaf %d received %d particles, expected %d",
+			la.Leaf, combined.Len(), total)
+	}
+	stats.Transfer += time.Since(*xferStart)
+
+	// Build the leaf layout (the BAT by default) and write the file.
+	batStart := time.Now()
+	built, err := layout.Build(combined, la.Bounds)
+	if err != nil {
+		return reportMsg{}, fmt.Errorf("core: leaf %d %s build: %w", la.Leaf, layout.Name(), err)
+	}
+	stats.BATBuild += time.Since(batStart)
+
+	writeStart := time.Now()
+	name := LeafFileName(base, la.Leaf)
+	if err := store.WriteFile(name, built.Buf); err != nil {
+		return reportMsg{}, fmt.Errorf("core: writing %s: %w", name, err)
+	}
+	stats.FileWrite += time.Since(writeStart)
+	*xferStart = time.Now()
+
+	return reportMsg{
+		Leaf:        la.Leaf,
+		FileName:    name,
+		Count:       int64(combined.Len()),
+		Bounds:      la.Bounds,
+		LocalRanges: built.LocalRanges,
+		RootBitmaps: built.RootBitmaps,
+	}, nil
+}

@@ -1,0 +1,370 @@
+// Package fabric provides a simulated MPI-like message-passing layer. Ranks
+// run as goroutines and communicate through matched point-to-point messages
+// (blocking and nonblocking), collectives (gather, scatterv, broadcast,
+// barrier), and a nonblocking barrier, mirroring the MPI feature set the
+// paper's pipeline depends on: nonblocking sends/receives for aggregation
+// (§III-B) and MPI_Ibarrier for the client-server read loop (§IV-B).
+//
+// Semantics follow MPI's: messages between a (source, destination, tag)
+// triple are delivered in order, receives match on source and tag with
+// AnySource/AnyTag wildcards, and sends are buffered (they complete without
+// a matching receive).
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Wildcards accepted by receive operations.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// message is one in-flight point-to-point message.
+type message struct {
+	src, tag int
+	data     []byte
+	seq      uint64 // arrival order, for FIFO matching
+}
+
+// inbox holds a rank's unmatched incoming messages.
+type inbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []message
+	seq  uint64
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) deposit(m message) {
+	ib.mu.Lock()
+	m.seq = ib.seq
+	ib.seq++
+	ib.msgs = append(ib.msgs, m)
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+// match removes and returns the earliest message matching (src, tag), or
+// false if none is queued.
+func (ib *inbox) match(src, tag int) (message, bool) {
+	for i, m := range ib.msgs {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			ib.msgs = append(ib.msgs[:i], ib.msgs[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// Fabric connects a fixed number of ranks.
+type Fabric struct {
+	size    int
+	inboxes []*inbox
+
+	// Simple traffic statistics for benchmarking/validation.
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierGen  uint64
+	barrierCnt  int
+}
+
+// New creates a fabric connecting size ranks.
+func New(size int) *Fabric {
+	if size <= 0 {
+		panic("fabric: size must be positive")
+	}
+	f := &Fabric{size: size, inboxes: make([]*inbox, size)}
+	for i := range f.inboxes {
+		f.inboxes[i] = newInbox()
+	}
+	f.barrierCond = sync.NewCond(&f.barrierMu)
+	return f
+}
+
+// Size returns the number of ranks.
+func (f *Fabric) Size() int { return f.size }
+
+// BytesSent returns the total bytes moved through the fabric so far.
+func (f *Fabric) BytesSent() int64 { return f.bytesSent.Load() }
+
+// MessagesSent returns the total number of point-to-point messages sent.
+func (f *Fabric) MessagesSent() int64 { return f.msgsSent.Load() }
+
+// Comm is one rank's handle onto the fabric. A Comm must only be used from
+// the goroutine running that rank.
+type Comm struct {
+	f    *Fabric
+	rank int
+}
+
+// Comm returns the communicator handle for the given rank.
+func (f *Fabric) Comm(rank int) *Comm {
+	if rank < 0 || rank >= f.size {
+		panic(fmt.Sprintf("fabric: rank %d out of range [0,%d)", rank, f.size))
+	}
+	return &Comm{f: f, rank: rank}
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the fabric.
+func (c *Comm) Size() int { return c.f.size }
+
+// Send delivers data to dst with the given tag. Sends are buffered and
+// complete immediately; the data slice is not copied, so callers must not
+// modify it afterwards.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.f.size {
+		panic(fmt.Sprintf("fabric: send to invalid rank %d", dst))
+	}
+	c.f.bytesSent.Add(int64(len(data)))
+	c.f.msgsSent.Add(1)
+	c.f.inboxes[dst].deposit(message{src: c.rank, tag: tag, data: data})
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns its
+// payload. src may be AnySource and tag may be AnyTag.
+func (c *Comm) Recv(src, tag int) ([]byte, Status) {
+	ib := c.f.inboxes[c.rank]
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		if m, ok := ib.match(src, tag); ok {
+			return m.data, Status{Source: m.src, Tag: m.tag}
+		}
+		ib.cond.Wait()
+	}
+}
+
+// Probe reports whether a message matching (src, tag) is available without
+// receiving it. It never blocks (MPI_Iprobe).
+func (c *Comm) Probe(src, tag int) (Status, bool) {
+	ib := c.f.inboxes[c.rank]
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for _, m := range ib.msgs {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			return Status{Source: m.src, Tag: m.tag}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Request is a handle on a nonblocking operation.
+type Request struct {
+	c        *Comm
+	src, tag int
+	done     bool
+	data     []byte
+	status   Status
+}
+
+// Isend initiates a nonblocking send. Since sends are buffered the request
+// completes immediately; it exists so pipeline code reads like its MPI
+// counterpart.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	c.Send(dst, tag, data)
+	return &Request{c: c, done: true}
+}
+
+// Irecv initiates a nonblocking receive matching (src, tag).
+func (c *Comm) Irecv(src, tag int) *Request {
+	return &Request{c: c, src: src, tag: tag}
+}
+
+// Test attempts to complete the request without blocking, returning true if
+// it has completed.
+func (r *Request) Test() bool {
+	if r.done {
+		return true
+	}
+	ib := r.c.f.inboxes[r.c.rank]
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if m, ok := ib.match(r.src, r.tag); ok {
+		r.data, r.status = m.data, Status{Source: m.src, Tag: m.tag}
+		r.done = true
+	}
+	return r.done
+}
+
+// Wait blocks until the request completes and returns the received payload
+// (nil for sends).
+func (r *Request) Wait() ([]byte, Status) {
+	if r.done {
+		return r.data, r.status
+	}
+	r.data, r.status = r.c.Recv(r.src, r.tag)
+	r.done = true
+	return r.data, r.status
+}
+
+// WaitAll completes every request.
+func WaitAll(reqs []*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	f := c.f
+	f.barrierMu.Lock()
+	gen := f.barrierGen
+	f.barrierCnt++
+	if f.barrierCnt == f.size {
+		f.barrierCnt = 0
+		f.barrierGen++
+		f.barrierMu.Unlock()
+		f.barrierCond.Broadcast()
+		return
+	}
+	for f.barrierGen == gen {
+		f.barrierCond.Wait()
+	}
+	f.barrierMu.Unlock()
+}
+
+// BarrierRequest is a handle on a nonblocking barrier (MPI_Ibarrier).
+type BarrierRequest struct {
+	f   *Fabric
+	gen uint64
+}
+
+// Ibarrier enters the barrier without blocking. The returned request's Test
+// reports true once every rank has entered. Each rank must call Ibarrier
+// exactly once per barrier epoch; concurrent distinct Ibarrier epochs are
+// not supported (matching the pipeline's single outstanding barrier).
+func (c *Comm) Ibarrier() *BarrierRequest {
+	f := c.f
+	f.barrierMu.Lock()
+	gen := f.barrierGen
+	f.barrierCnt++
+	if f.barrierCnt == f.size {
+		f.barrierCnt = 0
+		f.barrierGen++
+		f.barrierMu.Unlock()
+		f.barrierCond.Broadcast()
+		return &BarrierRequest{f: f, gen: gen}
+	}
+	f.barrierMu.Unlock()
+	return &BarrierRequest{f: f, gen: gen}
+}
+
+// Test reports whether every rank has entered the barrier.
+func (b *BarrierRequest) Test() bool {
+	b.f.barrierMu.Lock()
+	defer b.f.barrierMu.Unlock()
+	return b.f.barrierGen > b.gen
+}
+
+// Wait blocks until the barrier completes.
+func (b *BarrierRequest) Wait() {
+	b.f.barrierMu.Lock()
+	for b.f.barrierGen <= b.gen {
+		b.f.barrierCond.Wait()
+	}
+	b.f.barrierMu.Unlock()
+}
+
+// Collective tags live in a reserved space above any user tag.
+const (
+	tagGather = 1<<30 + iota
+	tagScatter
+	tagBcast
+)
+
+// Gather collects data from every rank on root. On root the result has one
+// entry per rank (the root's own contribution included, at its rank index);
+// on other ranks it returns nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, c.f.size)
+	out[root] = data
+	for i := 0; i < c.f.size-1; i++ {
+		d, st := c.Recv(AnySource, tagGather)
+		out[st.Source] = d
+	}
+	return out
+}
+
+// Scatterv distributes parts[i] from root to rank i and returns this rank's
+// part. On root, parts must have Size entries; on other ranks it is ignored.
+func (c *Comm) Scatterv(root int, parts [][]byte) []byte {
+	if c.rank == root {
+		if len(parts) != c.f.size {
+			panic("fabric: Scatterv needs one part per rank")
+		}
+		for i, p := range parts {
+			if i != root {
+				c.Send(i, tagScatter, p)
+			}
+		}
+		return parts[root]
+	}
+	d, _ := c.Recv(root, tagScatter)
+	return d
+}
+
+// Bcast broadcasts data from root to every rank and returns the payload.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	if c.rank == root {
+		for i := 0; i < c.f.size; i++ {
+			if i != root {
+				c.Send(i, tagBcast, data)
+			}
+		}
+		return data
+	}
+	d, _ := c.Recv(root, tagBcast)
+	return d
+}
+
+// Run spawns size ranks, invoking body with each rank's communicator, and
+// waits for all of them. The first non-nil error is returned.
+func Run(size int, body func(c *Comm) error) error {
+	f := New(size)
+	return f.Run(body)
+}
+
+// Run invokes body on every rank of an existing fabric and waits for all.
+func (f *Fabric) Run(body func(c *Comm) error) error {
+	errs := make([]error, f.size)
+	var wg sync.WaitGroup
+	for r := 0; r < f.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = body(f.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+// Package ior models the IOR benchmark configurations the paper compares
+// against in its weak-scaling study (§VI-A.1, [41]): file-per-process,
+// single shared file through MPI-IO, and HDF5's shared-file mode. Each
+// model charges the mechanism the paper identifies as that strategy's
+// scaling limit — per-file metadata costs for file-per-process, global
+// coordination and lock contention for the shared-file modes.
+package ior
+
+import (
+	"time"
+
+	"libbat/internal/perf"
+)
+
+// Mode selects an IOR benchmark configuration.
+type Mode int
+
+// The three IOR modes of Figure 5/7.
+const (
+	FilePerProcess Mode = iota
+	SharedFile          // raw MPI-IO single shared file
+	HDF5Shared          // HDF5 into a single shared file
+)
+
+func (m Mode) String() string {
+	switch m {
+	case FilePerProcess:
+		return "file-per-process"
+	case SharedFile:
+		return "shared-file"
+	case HDF5Shared:
+		return "hdf5"
+	}
+	return "unknown"
+}
+
+// WriteTime models writing bytesPerRank from each of n ranks.
+func WriteTime(p perf.Profile, m Mode, n int, bytesPerRank int64) time.Duration {
+	total := float64(n) * float64(bytesPerRank)
+	switch m {
+	case FilePerProcess:
+		// Every rank creates its own file, then streams it; writers share
+		// the aggregate filesystem and their node's NIC.
+		bw := p.WriterBW(n, p.RanksPerNode)
+		stream := time.Duration(float64(bytesPerRank) / bw * float64(time.Second))
+		return p.CreateTime(n, p.FileCreateRate) + stream
+	case SharedFile:
+		sync := time.Duration(n) * p.SharedSyncPerRank
+		stream := time.Duration(total / p.SharedFileWriteBW * float64(time.Second))
+		return sync + stream + p.CreateTime(1, p.FileCreateRate)
+	case HDF5Shared:
+		base := WriteTime(p, SharedFile, n, bytesPerRank)
+		return time.Duration(float64(base) * p.HDF5OverheadFactor)
+	}
+	return 0
+}
+
+// ReadTime models reading bytesPerRank on each of n ranks. The paper's
+// benchmark reads each block on a different rank than wrote it, defeating
+// the page cache, so reads hit the filesystem.
+func ReadTime(p perf.Profile, m Mode, n int, bytesPerRank int64) time.Duration {
+	total := float64(n) * float64(bytesPerRank)
+	switch m {
+	case FilePerProcess:
+		bw := p.ReaderBW(n, p.RanksPerNode)
+		stream := time.Duration(float64(bytesPerRank) / bw * float64(time.Second))
+		return p.CreateTime(n, p.FileOpenRate) + stream
+	case SharedFile:
+		sync := time.Duration(n) * p.SharedSyncPerRank
+		stream := time.Duration(total / p.SharedFileReadBW * float64(time.Second))
+		return sync + stream + p.CreateTime(1, p.FileOpenRate)
+	case HDF5Shared:
+		base := ReadTime(p, SharedFile, n, bytesPerRank)
+		return time.Duration(float64(base) * p.HDF5OverheadFactor)
+	}
+	return 0
+}
+
+// Bandwidth converts a total volume and duration to bytes/second.
+func Bandwidth(totalBytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(totalBytes) / d.Seconds()
+}

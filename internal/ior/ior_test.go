@@ -1,0 +1,154 @@
+package ior
+
+import (
+	"testing"
+
+	"libbat/internal/perf"
+)
+
+const bytesPerRank = 32768 * 124 // the paper's 4.06 MB uniform rank payload
+
+func TestModeString(t *testing.T) {
+	if FilePerProcess.String() != "file-per-process" ||
+		SharedFile.String() != "shared-file" ||
+		HDF5Shared.String() != "hdf5" ||
+		Mode(99).String() != "unknown" {
+		t.Error("mode names wrong")
+	}
+}
+
+func bw(p perf.Profile, m Mode, n int) float64 {
+	return Bandwidth(int64(n)*bytesPerRank, WriteTime(p, m, n, bytesPerRank))
+}
+
+func readBW(p perf.Profile, m Mode, n int) float64 {
+	return Bandwidth(int64(n)*bytesPerRank, ReadTime(p, m, n, bytesPerRank))
+}
+
+func TestFPPPeaksThenDegrades(t *testing.T) {
+	// Paper Figure 5: file-per-process performs well initially, then
+	// degrades — at ~1536 ranks on Stampede2 and ~672 on Summit.
+	for _, tc := range []struct {
+		p        perf.Profile
+		degradeN int
+	}{
+		{perf.Stampede2(), 1536},
+		{perf.Summit(), 672},
+	} {
+		peak := 0.0
+		peakN := 0
+		scan := []int{96, 192, 384, 672, 1536, 3072, 6144, 12288, 24576}
+		for _, n := range scan {
+			b := bw(tc.p, FilePerProcess, n)
+			t.Logf("%s fpp n=%5d bw=%6.1f GB/s", tc.p.Name, n, b/1e9)
+			if b > peak {
+				peak, peakN = b, n
+			}
+		}
+		last := bw(tc.p, FilePerProcess, 24576)
+		if last >= peak {
+			t.Errorf("%s: FPP should degrade at scale (peak %.1f at %d, last %.1f)",
+				tc.p.Name, peak/1e9, peakN, last/1e9)
+		}
+		if peakN > 4*tc.degradeN {
+			t.Errorf("%s: FPP peak at %d ranks, expected decline around %d",
+				tc.p.Name, peakN, tc.degradeN)
+		}
+	}
+}
+
+func TestSharedFileLimited(t *testing.T) {
+	// Shared-file bandwidth saturates well below the filesystem peak and
+	// eventually declines from global coordination costs.
+	p := perf.Stampede2()
+	var prev float64
+	saturated := 0.0
+	for _, n := range []int{96, 384, 1536, 6144, 24576} {
+		b := bw(p, SharedFile, n)
+		t.Logf("shared n=%5d bw=%6.1f GB/s", n, b/1e9)
+		if b > saturated {
+			saturated = b
+		}
+		prev = b
+	}
+	if saturated > p.SharedFileWriteBW {
+		t.Errorf("shared file exceeded its lock-limited bandwidth: %.1f GB/s", saturated/1e9)
+	}
+	_ = prev
+	if saturated > p.PeakWriteBW/4 {
+		t.Errorf("shared file should saturate well below the filesystem peak")
+	}
+}
+
+func TestHDF5SlowerThanRawShared(t *testing.T) {
+	p := perf.Summit()
+	for _, n := range []int{96, 1536, 24576} {
+		if bw(p, HDF5Shared, n) >= bw(p, SharedFile, n) {
+			t.Errorf("HDF5 should be slower than raw shared at %d ranks", n)
+		}
+		if readBW(p, HDF5Shared, n) >= readBW(p, SharedFile, n) {
+			t.Errorf("HDF5 reads should be slower than raw shared at %d ranks", n)
+		}
+	}
+}
+
+func TestTwoPhaseBeatsBaselinesAtScale(t *testing.T) {
+	// The paper's headline for Figures 5/7: at high core counts the
+	// two-phase approach with a well-chosen target size outperforms both
+	// file-per-process and shared-file I/O.
+	for _, p := range []perf.Profile{perf.Stampede2(), perf.Summit()} {
+		n := 24576
+		ranksPerLeaf := int(int64(64<<20) / bytesPerRank)
+		var leaves []perf.LeafLoad
+		for start := 0; start < n; start += ranksPerLeaf {
+			end := start + ranksPerLeaf
+			if end > n {
+				end = n
+			}
+			l := perf.LeafLoad{}
+			for r := start; r < end; r++ {
+				l.Ranks = append(l.Ranks, r)
+				l.MemberBytes = append(l.MemberBytes, bytesPerRank)
+				l.Bytes += bytesPerRank
+			}
+			l.Count = l.Bytes / 124
+			leaves = append(leaves, l)
+		}
+		for i := range leaves {
+			leaves[i].Aggregator = i * n / len(leaves)
+		}
+		total := int64(n) * bytesPerRank
+		twoPhaseW := Bandwidth(total, p.ModelTwoPhaseWrite(n, leaves, 128).Total())
+		twoPhaseR := Bandwidth(total, p.ModelTwoPhaseRead(n, leaves, 128).Total())
+		for _, m := range []Mode{FilePerProcess, SharedFile, HDF5Shared} {
+			if bw(p, m, n) >= twoPhaseW {
+				t.Errorf("%s: %v writes (%.1f GB/s) should lose to two-phase (%.1f GB/s) at %d ranks",
+					p.Name, m, bw(p, m, n)/1e9, twoPhaseW/1e9, n)
+			}
+			if readBW(p, m, n) >= twoPhaseR {
+				t.Errorf("%s: %v reads should lose to two-phase at %d ranks", p.Name, m, n)
+			}
+		}
+	}
+}
+
+func TestFPPWinsAtSmallScale(t *testing.T) {
+	// Paper: "file per-process initially performs well on both systems".
+	p := perf.Stampede2()
+	n := 96
+	fpp := bw(p, FilePerProcess, n)
+	shared := bw(p, SharedFile, n)
+	if fpp <= shared {
+		t.Errorf("at %d ranks FPP (%.1f GB/s) should beat shared (%.1f GB/s)",
+			n, fpp/1e9, shared/1e9)
+	}
+}
+
+func TestBandwidthEdgeCases(t *testing.T) {
+	if Bandwidth(100, 0) != 0 {
+		t.Error("zero duration should give zero bandwidth")
+	}
+	if WriteTime(perf.Stampede2(), Mode(42), 10, 100) != 0 {
+		t.Error("unknown mode should cost nothing")
+	}
+}

@@ -1,0 +1,72 @@
+package mmapio
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenReadClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	content := bytes.Repeat([]byte("abcdefgh"), 1024)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != int64(len(content)) {
+		t.Errorf("Size = %d", m.Size())
+	}
+	if !bytes.Equal(m.Bytes(), content) {
+		t.Error("Bytes mismatch")
+	}
+	buf := make([]byte, 8)
+	if _, err := m.ReadAt(buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abcdefgh" {
+		t.Errorf("ReadAt = %q", buf)
+	}
+	// Reads at/past the end.
+	if _, err := m.ReadAt(buf, m.Size()); err != io.EOF {
+		t.Errorf("read at end: %v", err)
+	}
+	if n, err := m.ReadAt(buf, m.Size()-4); n != 4 || err != io.EOF {
+		t.Errorf("short tail read: n=%d err=%v", n, err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close is safe.
+	if err := m.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestOpenEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Size() != 0 {
+		t.Errorf("empty Size = %d", m.Size())
+	}
+	if _, err := m.ReadAt(make([]byte, 1), 0); err != io.EOF {
+		t.Errorf("empty read: %v", err)
+	}
+}

@@ -1,0 +1,187 @@
+package morton
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"libbat/internal/geom"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := [][3]uint32{
+		{0, 0, 0},
+		{1, 0, 0},
+		{0, 1, 0},
+		{0, 0, 1},
+		{MaxCoord, MaxCoord, MaxCoord},
+		{12345, 67890, 54321},
+	}
+	for _, c := range cases {
+		code := Encode(c[0], c[1], c[2])
+		x, y, z := Decode(code)
+		if x != c[0] || y != c[1] || z != c[2] {
+			t.Errorf("round trip (%d,%d,%d) -> %d -> (%d,%d,%d)", c[0], c[1], c[2], code, x, y, z)
+		}
+	}
+}
+
+func TestEncodeBitPositions(t *testing.T) {
+	// x bit i should land at code bit 3i, y at 3i+1, z at 3i+2.
+	if Encode(1, 0, 0) != 1 {
+		t.Errorf("Encode(1,0,0) = %b", Encode(1, 0, 0))
+	}
+	if Encode(0, 1, 0) != 2 {
+		t.Errorf("Encode(0,1,0) = %b", Encode(0, 1, 0))
+	}
+	if Encode(0, 0, 1) != 4 {
+		t.Errorf("Encode(0,0,1) = %b", Encode(0, 0, 1))
+	}
+	if Encode(2, 0, 0) != 8 {
+		t.Errorf("Encode(2,0,0) = %b", Encode(2, 0, 0))
+	}
+	// Top bit: z bit 20 is code bit 62.
+	if Encode(0, 0, 1<<20) != 1<<62 {
+		t.Errorf("Encode(0,0,2^20) = %b", Encode(0, 0, 1<<20))
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= MaxCoord
+		y &= MaxCoord
+		z &= MaxCoord
+		dx, dy, dz := Decode(Encode(x, y, z))
+		return dx == x && dy == y && dz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonOrderIsMonotoneOnDiagonal(t *testing.T) {
+	// Codes along the main diagonal must be strictly increasing.
+	prev := Code(0)
+	for i := uint32(1); i < 1000; i++ {
+		c := Encode(i, i, i)
+		if c <= prev {
+			t.Fatalf("diagonal not monotone at %d", i)
+		}
+		prev = c
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	b := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	x, y, z := Quantize(geom.V3(0, 0, 0), b)
+	if x != 0 || y != 0 || z != 0 {
+		t.Errorf("lower corner = (%d,%d,%d)", x, y, z)
+	}
+	x, y, z = Quantize(geom.V3(1, 1, 1), b)
+	if x != MaxCoord || y != MaxCoord || z != MaxCoord {
+		t.Errorf("upper corner = (%d,%d,%d)", x, y, z)
+	}
+	// Out-of-bounds points clamp.
+	x, _, _ = Quantize(geom.V3(2, 0.5, 0.5), b)
+	if x != MaxCoord {
+		t.Errorf("clamp high = %d", x)
+	}
+	x, _, _ = Quantize(geom.V3(-1, 0.5, 0.5), b)
+	if x != 0 {
+		t.Errorf("clamp low = %d", x)
+	}
+}
+
+func TestSubprefix(t *testing.T) {
+	c := Code(0x7fffffffffffffff) // all 63 bits set
+	if got := c.Subprefix(12); got != 0xfff {
+		t.Errorf("Subprefix(12) = %x", got)
+	}
+	if got := c.Subprefix(0); got != 0 {
+		t.Errorf("Subprefix(0) = %x", got)
+	}
+	if got := c.Subprefix(63); got != c {
+		t.Errorf("Subprefix(63) = %x", got)
+	}
+	if got := c.Subprefix(100); got != c {
+		t.Errorf("Subprefix(>63) = %x", got)
+	}
+}
+
+func TestSubprefixPreservesOrder(t *testing.T) {
+	// Sorting by subprefix must be consistent with sorting by full code.
+	r := rand.New(rand.NewSource(42))
+	codes := make([]Code, 500)
+	for i := range codes {
+		codes[i] = Encode(r.Uint32()&MaxCoord, r.Uint32()&MaxCoord, r.Uint32()&MaxCoord)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1].Subprefix(12) > codes[i].Subprefix(12) {
+			t.Fatal("subprefix order inconsistent with code order")
+		}
+	}
+}
+
+func TestCellBoundsContainsPoints(t *testing.T) {
+	// Every point whose code has a given subprefix must fall inside the
+	// subprefix's cell bounds.
+	domain := geom.NewBox(geom.V3(-3, 1, 0), geom.V3(5, 9, 4))
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p := geom.Vec3{
+			X: domain.Lower.X + r.Float64()*domain.Size().X,
+			Y: domain.Lower.Y + r.Float64()*domain.Size().Y,
+			Z: domain.Lower.Z + r.Float64()*domain.Size().Z,
+		}
+		code := FromPoint(p, domain)
+		for _, bits := range []int{1, 2, 3, 6, 12, 18} {
+			cell := CellBounds(code.Subprefix(bits), bits, domain)
+			// Allow tiny epsilon for float arithmetic at cell faces.
+			eps := 1e-9
+			grown := geom.NewBox(
+				cell.Lower.Sub(geom.V3(eps, eps, eps)),
+				cell.Upper.Add(geom.V3(eps, eps, eps)))
+			if !grown.Contains(p) {
+				t.Fatalf("bits=%d point %v outside cell %v (domain %v)", bits, p, cell, domain)
+			}
+		}
+	}
+}
+
+func TestCellBoundsZeroBits(t *testing.T) {
+	domain := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 2, 3))
+	if got := CellBounds(0, 0, domain); got != domain {
+		t.Errorf("CellBounds(0 bits) = %v", got)
+	}
+}
+
+func TestCellBoundsDisjoint(t *testing.T) {
+	// Different subprefixes at the same bit depth give non-overlapping
+	// interiors.
+	domain := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	a := CellBounds(0, 3, domain)
+	b := CellBounds(7, 3, domain)
+	inter := a.Intersect(b)
+	if !inter.IsEmpty() && inter.Volume() > 1e-12 {
+		t.Errorf("cells overlap: %v and %v", a, b)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	var sink Code
+	for i := 0; i < b.N; i++ {
+		sink ^= Encode(uint32(i)&MaxCoord, uint32(i*7)&MaxCoord, uint32(i*13)&MaxCoord)
+	}
+	_ = sink
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var sx uint32
+	for i := 0; i < b.N; i++ {
+		x, y, z := Decode(Code(i) & 0x7fffffffffffffff)
+		sx ^= x ^ y ^ z
+	}
+	_ = sx
+}

@@ -1,0 +1,192 @@
+package particles
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"libbat/internal/geom"
+)
+
+func testSet(n int, seed int64) *Set {
+	r := rand.New(rand.NewSource(seed))
+	s := NewSet(NewSchema("mass", "temp"), n)
+	for i := 0; i < n; i++ {
+		s.Append(geom.V3(r.Float64(), r.Float64()*2, r.Float64()*3),
+			[]float64{r.Float64() * 10, 100 + r.Float64()*50})
+	}
+	return s
+}
+
+func TestSchema(t *testing.T) {
+	s := NewSchema("mass", "temp")
+	if s.NumAttrs() != 2 {
+		t.Errorf("NumAttrs = %d", s.NumAttrs())
+	}
+	if s.BytesPerParticle() != 12+16 {
+		t.Errorf("BytesPerParticle = %d", s.BytesPerParticle())
+	}
+	if s.AttrIndex("temp") != 1 || s.AttrIndex("nope") != -1 {
+		t.Error("AttrIndex wrong")
+	}
+	u := UniformSchema(14)
+	if u.NumAttrs() != 14 || u.BytesPerParticle() != 12+14*8 {
+		t.Errorf("uniform schema wrong: %d attrs, %d B", u.NumAttrs(), u.BytesPerParticle())
+	}
+	// Paper: 32k particles of 3xf32 + 14xf64 = 4.06MB per rank.
+	if mb := float64(32768*u.BytesPerParticle()) / (1 << 20); mb < 3.8 || mb > 4.2 {
+		t.Errorf("32k uniform particles = %.2f MB, paper says 4.06", mb)
+	}
+	if !s.Equal(NewSchema("mass", "temp")) || s.Equal(u) {
+		t.Error("Equal wrong")
+	}
+	if Float32.Size() != 4 || Float64.Size() != 8 {
+		t.Error("type sizes wrong")
+	}
+}
+
+func TestAppendAndAccess(t *testing.T) {
+	s := testSet(100, 1)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Bytes() != int64(100*(12+16)) {
+		t.Errorf("Bytes = %d", s.Bytes())
+	}
+	b := s.Bounds()
+	for i := 0; i < s.Len(); i++ {
+		if !b.Contains(s.Position(i)) {
+			t.Fatalf("particle %d outside Bounds", i)
+		}
+	}
+	r := s.AttrRange(0)
+	for _, v := range s.Attrs[0] {
+		if v < r.Min || v > r.Max {
+			t.Fatal("value outside AttrRange")
+		}
+	}
+}
+
+func TestAppendPanicsOnBadAttrs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on attr count mismatch")
+		}
+	}()
+	s := NewSet(NewSchema("a"), 1)
+	s.Append(geom.V3(0, 0, 0), []float64{1, 2})
+}
+
+func TestAppendSet(t *testing.T) {
+	a := testSet(10, 1)
+	b := testSet(20, 2)
+	a.AppendSet(b)
+	if a.Len() != 30 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	if a.Attrs[0][10] != b.Attrs[0][0] {
+		t.Error("appended attrs wrong")
+	}
+}
+
+func TestSelectAndSlice(t *testing.T) {
+	s := testSet(50, 3)
+	sel := s.Select([]int{5, 10, 15})
+	if sel.Len() != 3 {
+		t.Fatalf("Select len = %d", sel.Len())
+	}
+	if sel.X[1] != s.X[10] || sel.Attrs[1][2] != s.Attrs[1][15] {
+		t.Error("Select values wrong")
+	}
+	sl := s.Slice(10, 20)
+	if sl.Len() != 10 || sl.X[0] != s.X[10] {
+		t.Error("Slice wrong")
+	}
+	// Slice is a copy: mutating it must not affect the original.
+	sl.X[0] = -999
+	if s.X[10] == -999 {
+		t.Error("Slice aliases original storage")
+	}
+}
+
+func TestReorder(t *testing.T) {
+	s := testSet(10, 4)
+	orig := s.Slice(0, 10)
+	perm := []int{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	s.Reorder(perm)
+	for i := 0; i < 10; i++ {
+		if s.X[i] != orig.X[9-i] || s.Attrs[0][i] != orig.Attrs[0][9-i] {
+			t.Fatalf("Reorder wrong at %d", i)
+		}
+	}
+}
+
+func TestReorderPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s := testSet(5, 1)
+	s.Reorder([]int{0, 1})
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw) % 64
+		s := testSet(n, seed)
+		buf := s.Marshal()
+		got, err := Unmarshal(buf, s.Schema)
+		if err != nil {
+			return false
+		}
+		if got.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.X[i] != s.X[i] || got.Y[i] != s.Y[i] || got.Z[i] != s.Z[i] {
+				return false
+			}
+			for a := range s.Attrs {
+				if got.Attrs[a][i] != s.Attrs[a][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2}, NewSchema("a")); err == nil {
+		t.Error("short buffer should error")
+	}
+	s := testSet(5, 1)
+	buf := s.Marshal()
+	if _, err := Unmarshal(buf[:len(buf)-4], s.Schema); err == nil {
+		t.Error("truncated buffer should error")
+	}
+	if _, err := Unmarshal(buf, NewSchema("a", "b", "c")); err == nil {
+		t.Error("wrong schema size should error")
+	}
+}
+
+func TestMarshalEmpty(t *testing.T) {
+	s := NewSet(NewSchema("a"), 0)
+	got, err := Unmarshal(s.Marshal(), s.Schema)
+	if err != nil || got.Len() != 0 {
+		t.Errorf("empty round trip: %v len %d", err, got.Len())
+	}
+}
+
+func BenchmarkMarshal32k(b *testing.B) {
+	s := testSet(32768, 1)
+	b.SetBytes(s.Bytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Marshal()
+	}
+}

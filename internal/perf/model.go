@@ -1,0 +1,204 @@
+package perf
+
+import "time"
+
+// LeafLoad describes one aggregation leaf (one output file) for the cost
+// models: its total payload, its member ranks and their per-rank payloads,
+// and the rank assigned to aggregate it.
+type LeafLoad struct {
+	Bytes       int64
+	Count       int64
+	Ranks       []int
+	MemberBytes []int64
+	Aggregator  int
+}
+
+// WriteBreakdown reports modeled time per write-pipeline stage (the
+// components of the paper's Figure 6/10/12 breakdowns).
+type WriteBreakdown struct {
+	TreeBuild     time.Duration // aggregation tree build on rank 0
+	GatherScatter time.Duration // counts/bounds gather + assignment scatter
+	Transfer      time.Duration // particle transfer to aggregators
+	BATBuild      time.Duration // BAT construction on aggregators
+	FileWrite     time.Duration // aggregator file creates + writes
+	Metadata      time.Duration // top-level metadata gather + write
+}
+
+// Total sums all stages.
+func (b WriteBreakdown) Total() time.Duration {
+	return b.TreeBuild + b.GatherScatter + b.Transfer + b.BATBuild + b.FileWrite + b.Metadata
+}
+
+// ReadBreakdown reports modeled time per read-pipeline stage.
+type ReadBreakdown struct {
+	Metadata time.Duration // all ranks read the aggregation-tree metadata
+	FileRead time.Duration // read aggregators open + read leaf files
+	Query    time.Duration // spatial queries on the read aggregators
+	Transfer time.Duration // returning particles to the requesting ranks
+}
+
+// Total sums all stages.
+func (b ReadBreakdown) Total() time.Duration {
+	return b.Metadata + b.FileRead + b.Query + b.Transfer
+}
+
+// maxI64 returns the larger of two int64s.
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ModelTwoPhaseWrite charges the paper's write pipeline (§III, Figure 1)
+// for a world of n ranks aggregating into the given leaves. The layout
+// overhead of the BAT (≈1%) is folded into the leaf payload by the caller
+// if desired; the model charges the dominant mechanisms:
+//
+//	tree build     — rank entries through TreeBuildRate
+//	gather/scatter — two small-message collectives over n ranks
+//	transfer       — max per-node NIC ingress/egress of the aggregation
+//	BAT build      — max per-aggregator particles through BATBuildRate
+//	file write     — metadata-server creates + max per-writer stream time
+//	metadata       — leaf ranges/bitmaps gather + one small file write
+func (p Profile) ModelTwoPhaseWrite(n int, leaves []LeafLoad, metaBytesPerLeaf int) WriteBreakdown {
+	var b WriteBreakdown
+	if len(leaves) == 0 {
+		return b
+	}
+	b.TreeBuild = seconds(float64(n) / p.TreeBuildRate)
+	b.GatherScatter = 2 * p.CollectiveLatency(n, 40)
+
+	// Transfer: per-node ingress (aggregator side) and egress (sender
+	// side); the paper's even aggregator spread through the rank space is
+	// reflected in the leaves' Aggregator fields.
+	ingress := map[int]int64{}
+	egress := map[int]int64{}
+	var maxAggCount int64
+	nWriters := 0
+	writersPerNode := map[int]int{}
+	for _, l := range leaves {
+		nWriters++
+		aggNode := p.NodeOf(l.Aggregator)
+		writersPerNode[aggNode]++
+		if l.Count > maxAggCount {
+			maxAggCount = l.Count
+		}
+		for i, r := range l.Ranks {
+			if r == l.Aggregator {
+				continue
+			}
+			var mb int64
+			if i < len(l.MemberBytes) {
+				mb = l.MemberBytes[i]
+			}
+			ingress[aggNode] += mb
+			egress[p.NodeOf(r)] += mb
+		}
+	}
+	var maxFlow int64
+	for _, v := range ingress {
+		maxFlow = maxI64(maxFlow, v)
+	}
+	for _, v := range egress {
+		maxFlow = maxI64(maxFlow, v)
+	}
+	b.Transfer = seconds(float64(maxFlow)/p.NICBandwidth) + p.NetLatency*time.Duration(len(leaves))
+
+	b.BATBuild = seconds(float64(maxAggCount) / p.BATBuildRate)
+
+	// File write: all leaves created through the MDS; each writer streams
+	// its file, sharing the aggregate filesystem and its node's NIC.
+	maxWritersOnNode := 0
+	for _, c := range writersPerNode {
+		if c > maxWritersOnNode {
+			maxWritersOnNode = c
+		}
+	}
+	var maxLeafBytes int64
+	for _, l := range leaves {
+		maxLeafBytes = maxI64(maxLeafBytes, l.Bytes)
+	}
+	wbw := p.WriterBW(nWriters, maxWritersOnNode)
+	b.FileWrite = p.CreateTime(len(leaves), p.FileCreateRate) +
+		seconds(float64(maxLeafBytes)/wbw)
+
+	// Metadata: per-leaf ranges and root bitmaps gathered to rank 0, one
+	// small file written.
+	b.Metadata = p.CollectiveLatency(len(leaves), metaBytesPerLeaf) +
+		p.CreateTime(1, p.FileCreateRate) +
+		seconds(float64(len(leaves)*metaBytesPerLeaf)/p.WriterStreamBW)
+	return b
+}
+
+// ModelTwoPhaseRead charges the paper's read pipeline (§IV, Figure 3):
+// every rank reads the metadata, read aggregators (one per leaf when ranks
+// >= files, else files spread over ranks) open and read the leaf files,
+// answer spatial queries, and return each rank's particles.
+func (p Profile) ModelTwoPhaseRead(n int, leaves []LeafLoad, metaBytesPerLeaf int) ReadBreakdown {
+	var b ReadBreakdown
+	if len(leaves) == 0 {
+		return b
+	}
+	metaBytes := int64(len(leaves) * metaBytesPerLeaf)
+	// The metadata file is read by every rank; small, so the open storm
+	// dominates. Model opens through the MDS at one per node (the paper
+	// reads it on every rank, but the page cache serves node-local
+	// repeats).
+	nodes := (n + p.RanksPerNode - 1) / p.RanksPerNode
+	b.Metadata = p.CreateTime(nodes, p.FileOpenRate) +
+		seconds(float64(metaBytes)/p.ReaderStreamBW)
+
+	// Read aggregators: files per reader and their byte loads.
+	nReaders := n
+	if len(leaves) < n {
+		nReaders = len(leaves)
+	}
+	readerBytes := map[int]int64{}
+	readerCount := map[int]int64{}
+	readersPerNode := map[int]int{}
+	var totalBytes int64
+	for i, l := range leaves {
+		reader := i * n / len(leaves) // same even spread as writes
+		if len(leaves) > n {
+			reader = i % n
+		}
+		if _, seen := readerBytes[reader]; !seen {
+			readersPerNode[p.NodeOf(reader)]++
+		}
+		readerBytes[reader] += l.Bytes
+		readerCount[reader] += l.Count
+		totalBytes += l.Bytes
+	}
+	var maxReaderBytes, maxReaderCount int64
+	for r, v := range readerBytes {
+		maxReaderBytes = maxI64(maxReaderBytes, v)
+		maxReaderCount = maxI64(maxReaderCount, readerCount[r])
+	}
+	maxReadersOnNode := 0
+	for _, c := range readersPerNode {
+		if c > maxReadersOnNode {
+			maxReadersOnNode = c
+		}
+	}
+	rbw := p.ReaderBW(nReaders, maxReadersOnNode)
+	b.FileRead = p.CreateTime(len(leaves), p.FileOpenRate) +
+		seconds(float64(maxReaderBytes)/rbw)
+
+	// Queries: each reader filters its particles once per requesting rank
+	// overlap; approximate with one full pass over its particles.
+	b.Query = seconds(float64(maxReaderCount) / p.QueryRate)
+
+	// Redistribution: total payload crosses the network once; the
+	// bottleneck is the larger of the per-node ingress of the receiving
+	// ranks and the per-node egress of the read aggregators.
+	perRank := totalBytes / int64(n)
+	ingressPerNode := perRank * int64(p.RanksPerNode)
+	egressPerNode := int64(0)
+	if maxReadersOnNode > 0 {
+		egressPerNode = maxReaderBytes * int64(maxReadersOnNode)
+	}
+	flow := maxI64(ingressPerNode, egressPerNode)
+	b.Transfer = seconds(float64(flow)/p.NICBandwidth) + p.NetLatency*time.Duration(len(leaves))
+	return b
+}

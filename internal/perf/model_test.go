@@ -1,0 +1,209 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+// uniformLeaves builds the leaf loads of a uniform weak-scaling run:
+// n ranks, bytesPerRank each, aggregated into files of ~targetBytes with
+// aggregators spread evenly through the rank space.
+func uniformLeaves(n int, bytesPerRank, targetBytes int64, bytesPerParticle int) []LeafLoad {
+	ranksPerLeaf := int(targetBytes / bytesPerRank)
+	if ranksPerLeaf < 1 {
+		ranksPerLeaf = 1
+	}
+	var leaves []LeafLoad
+	for start := 0; start < n; start += ranksPerLeaf {
+		end := start + ranksPerLeaf
+		if end > n {
+			end = n
+		}
+		l := LeafLoad{Aggregator: len(leaves)} // placeholder, fixed below
+		for r := start; r < end; r++ {
+			l.Ranks = append(l.Ranks, r)
+			l.MemberBytes = append(l.MemberBytes, bytesPerRank)
+			l.Bytes += bytesPerRank
+		}
+		l.Count = l.Bytes / int64(bytesPerParticle)
+		leaves = append(leaves, l)
+	}
+	for i := range leaves {
+		leaves[i].Aggregator = i * n / len(leaves)
+	}
+	return leaves
+}
+
+const (
+	uniformBytesPerRank = 32768 * 124 // 32k particles of 3xf32+14xf64
+	uniformBPP          = 124
+)
+
+func bandwidth(totalBytes int64, d time.Duration) float64 {
+	return float64(totalBytes) / d.Seconds()
+}
+
+func TestWriteModelShapes(t *testing.T) {
+	for _, p := range []Profile{Stampede2(), Summit()} {
+		var prev float64
+		bws := map[int]float64{}
+		for _, n := range []int{96, 384, 1536, 6144, 24576} {
+			leaves := uniformLeaves(n, uniformBytesPerRank, 64<<20, uniformBPP)
+			bd := p.ModelTwoPhaseWrite(n, leaves, 128)
+			total := int64(n) * uniformBytesPerRank
+			bw := bandwidth(total, bd.Total())
+			bws[n] = bw
+			t.Logf("%s n=%5d files=%4d bw=%6.1f GB/s breakdown: tree=%v gs=%v xfer=%v bat=%v write=%v meta=%v",
+				p.Name, n, len(leaves), bw/1e9, bd.TreeBuild, bd.GatherScatter, bd.Transfer, bd.BATBuild, bd.FileWrite, bd.Metadata)
+			if bw < prev*0.9 {
+				t.Errorf("%s: two-phase 64MB write bandwidth regressed at %d ranks: %.1f -> %.1f GB/s",
+					p.Name, n, prev/1e9, bw/1e9)
+			}
+			prev = bw
+		}
+		// Weak scaling must actually scale: 24576 ranks should deliver far
+		// more aggregate bandwidth than 96.
+		if bws[24576] < 10*bws[96] {
+			t.Errorf("%s: two-phase not scaling: %.1f GB/s at 96 vs %.1f at 24576",
+				p.Name, bws[96]/1e9, bws[24576]/1e9)
+		}
+	}
+}
+
+func TestWriteModelTargetSizeTradeoff(t *testing.T) {
+	// Small target sizes must degrade at scale (many files -> metadata
+	// costs), as the paper's 8MB curves do, while large targets keep
+	// scaling.
+	p := Stampede2()
+	n := 24576
+	small := uniformLeaves(n, uniformBytesPerRank, 8<<20, uniformBPP)
+	big := uniformLeaves(n, uniformBytesPerRank, 256<<20, uniformBPP)
+	total := int64(n) * uniformBytesPerRank
+	bwSmall := bandwidth(total, p.ModelTwoPhaseWrite(n, small, 128).Total())
+	bwBig := bandwidth(total, p.ModelTwoPhaseWrite(n, big, 128).Total())
+	if bwBig <= bwSmall {
+		t.Errorf("at %d ranks, 256MB target (%.1f GB/s) should beat 8MB (%.1f GB/s)",
+			n, bwBig/1e9, bwSmall/1e9)
+	}
+	// At small scale the small target (more writers) should win.
+	n = 96
+	small = uniformLeaves(n, uniformBytesPerRank, 8<<20, uniformBPP)
+	big = uniformLeaves(n, uniformBytesPerRank, 256<<20, uniformBPP)
+	total = int64(n) * uniformBytesPerRank
+	bwSmall = bandwidth(total, p.ModelTwoPhaseWrite(n, small, 128).Total())
+	bwBig = bandwidth(total, p.ModelTwoPhaseWrite(n, big, 128).Total())
+	if bwSmall <= bwBig {
+		t.Errorf("at %d ranks, 8MB target (%.1f GB/s) should beat 256MB (%.1f GB/s)",
+			n, bwSmall/1e9, bwBig/1e9)
+	}
+}
+
+func TestImbalanceSlowsWrites(t *testing.T) {
+	// The adaptive-vs-AUG effect: at equal file counts, a skewed leaf-size
+	// distribution (one hot aggregator) must model slower than a balanced
+	// one.
+	p := Stampede2()
+	n := 1536
+	balanced := uniformLeaves(n, uniformBytesPerRank, 32<<20, uniformBPP)
+	skewed := uniformLeaves(n, uniformBytesPerRank, 32<<20, uniformBPP)
+	// Move half of every other leaf's load onto leaf 0.
+	for i := 1; i < len(skewed); i += 2 {
+		moved := skewed[i].Bytes / 2
+		skewed[i].Bytes -= moved
+		skewed[i].Count -= moved / uniformBPP
+		skewed[0].Bytes += moved
+		skewed[0].Count += moved / uniformBPP
+		for j := range skewed[i].MemberBytes {
+			skewed[i].MemberBytes[j] /= 2
+		}
+		for j := range skewed[0].MemberBytes {
+			skewed[0].MemberBytes[j] += moved / int64(len(skewed[0].MemberBytes))
+		}
+	}
+	tb := p.ModelTwoPhaseWrite(n, balanced, 128).Total()
+	ts := p.ModelTwoPhaseWrite(n, skewed, 128).Total()
+	if ts <= tb {
+		t.Errorf("skewed leaves (%v) should be slower than balanced (%v)", ts, tb)
+	}
+}
+
+func TestReadModelShapes(t *testing.T) {
+	for _, p := range []Profile{Stampede2(), Summit()} {
+		var prev float64
+		for _, n := range []int{96, 384, 1536, 6144, 24576} {
+			leaves := uniformLeaves(n, uniformBytesPerRank, 64<<20, uniformBPP)
+			bd := p.ModelTwoPhaseRead(n, leaves, 128)
+			total := int64(n) * uniformBytesPerRank
+			bw := bandwidth(total, bd.Total())
+			t.Logf("%s n=%5d read bw=%6.1f GB/s breakdown: meta=%v file=%v query=%v xfer=%v",
+				p.Name, n, bw/1e9, bd.Metadata, bd.FileRead, bd.Query, bd.Transfer)
+			if bw < prev*0.85 {
+				t.Errorf("%s: two-phase read bandwidth regressed at %d ranks", p.Name, n)
+			}
+			prev = bw
+		}
+	}
+}
+
+func TestReadMoreFilesThanRanks(t *testing.T) {
+	// Reading a dataset written at larger scale: 64 ranks, 512 files.
+	p := Stampede2()
+	leaves := uniformLeaves(4096, uniformBytesPerRank, 8<<20, uniformBPP)
+	bd := p.ModelTwoPhaseRead(64, leaves, 128)
+	if bd.Total() <= 0 {
+		t.Fatal("zero read time")
+	}
+}
+
+func TestCreateTimeContention(t *testing.T) {
+	p := Stampede2()
+	t1 := p.CreateTime(1000, p.FileCreateRate)
+	t2 := p.CreateTime(2000, p.FileCreateRate)
+	// Superlinear: doubling files more than doubles time.
+	if t2 < 2*t1 {
+		t.Errorf("create contention not superlinear: %v vs %v", t1, t2)
+	}
+	if p.CreateTime(0, p.FileCreateRate) != 0 {
+		t.Error("zero files should cost nothing")
+	}
+}
+
+func TestWriterBWCaps(t *testing.T) {
+	p := Stampede2()
+	// Single writer: stream-limited.
+	if bw := p.WriterBW(1, 1); bw != p.WriterStreamBW {
+		t.Errorf("single writer bw = %g", bw)
+	}
+	// Very many writers: aggregate-limited.
+	if bw := p.WriterBW(1_000_000, 1); bw >= p.WriterStreamBW {
+		t.Errorf("mass writers not aggregate-capped: %g", bw)
+	}
+	// Node-sharing cap.
+	many := p.WriterBW(48, 48)
+	few := p.WriterBW(48, 1)
+	if many > few {
+		t.Errorf("node sharing should not increase bw: %g > %g", many, few)
+	}
+}
+
+func TestEmptyLeaves(t *testing.T) {
+	p := Summit()
+	if p.ModelTwoPhaseWrite(100, nil, 128).Total() != 0 {
+		t.Error("no leaves should cost nothing")
+	}
+	if p.ModelTwoPhaseRead(100, nil, 128).Total() != 0 {
+		t.Error("no leaves should cost nothing")
+	}
+}
+
+func TestCollectiveLatency(t *testing.T) {
+	p := Stampede2()
+	if p.CollectiveLatency(1, 100) != 0 {
+		t.Error("single rank collective should be free")
+	}
+	small := p.CollectiveLatency(64, 40)
+	big := p.CollectiveLatency(65536, 40)
+	if big <= small {
+		t.Error("collectives should grow with rank count")
+	}
+}

@@ -1,0 +1,232 @@
+// Package pfs provides the storage backends the write/read pipelines run
+// against: a real directory on the local filesystem (full-fidelity runs,
+// the visualization benchmarks) and an in-memory store (tests and
+// in-transit use). Both count files and bytes so benchmarks can report
+// what a run produced.
+package pfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// File is an open file handle supporting random-access reads.
+type File interface {
+	io.ReaderAt
+	io.Closer
+	Size() int64
+}
+
+// Storage is a flat namespace of immutable files.
+type Storage interface {
+	// WriteFile atomically creates (or replaces) a file.
+	WriteFile(name string, data []byte) error
+	// Open opens a file for random-access reading.
+	Open(name string) (File, error)
+	// List returns all file names, sorted.
+	List() ([]string, error)
+	// Stats reports cumulative write traffic.
+	Stats() Stats
+}
+
+// Stats counts storage traffic.
+type Stats struct {
+	FilesWritten int64
+	BytesWritten int64
+}
+
+// OS stores files under a root directory on the local filesystem.
+type OS struct {
+	root  string
+	files atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewOS creates (if needed) and wraps a directory.
+func NewOS(root string) (*OS, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	return &OS{root: root}, nil
+}
+
+// Root returns the backing directory.
+func (s *OS) Root() string { return s.root }
+
+func (s *OS) path(name string) (string, error) {
+	if name == "" || strings.Contains(name, "/") || strings.Contains(name, "..") {
+		return "", fmt.Errorf("pfs: invalid file name %q", name)
+	}
+	return filepath.Join(s.root, name), nil
+}
+
+// WriteFile implements Storage: write to a temp file, then rename.
+func (s *OS) WriteFile(name string, data []byte) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	s.files.Add(1)
+	s.bytes.Add(int64(len(data)))
+	return nil
+}
+
+type osFile struct {
+	*os.File
+	size int64
+}
+
+func (f *osFile) Size() int64 { return f.size }
+
+// Open implements Storage.
+func (s *OS) Open(name string) (File, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	fh, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	st, err := fh.Stat()
+	if err != nil {
+		fh.Close()
+		return nil, err
+	}
+	return &osFile{File: fh, size: st.Size()}, nil
+}
+
+// List implements Storage.
+func (s *OS) List() ([]string, error) {
+	ents, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && !strings.HasSuffix(e.Name(), ".tmp") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stats implements Storage.
+func (s *OS) Stats() Stats {
+	return Stats{FilesWritten: s.files.Load(), BytesWritten: s.bytes.Load()}
+}
+
+// Mem is an in-memory Storage safe for concurrent use.
+type Mem struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+	stats Stats
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string][]byte)}
+}
+
+// WriteFile implements Storage.
+func (m *Mem) WriteFile(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("pfs: invalid file name %q", name)
+	}
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	m.files[name] = cp
+	m.stats.FilesWritten++
+	m.stats.BytesWritten += int64(len(data))
+	m.mu.Unlock()
+	return nil
+}
+
+type memFile struct{ data []byte }
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Close() error { return nil }
+func (f *memFile) Size() int64  { return int64(len(f.data)) }
+
+// Open implements Storage.
+func (m *Mem) Open(name string) (File, error) {
+	m.mu.RLock()
+	data, ok := m.files[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("pfs: %q: %w", name, os.ErrNotExist)
+	}
+	return &memFile{data: data}, nil
+}
+
+// List implements Storage.
+func (m *Mem) List() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stats implements Storage.
+func (m *Mem) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// Faulty wraps a Storage and fails operations on selected file names —
+// fault injection for pipeline robustness tests.
+type Faulty struct {
+	Storage
+	// FailWrites and FailOpens name files whose writes/opens fail.
+	FailWrites map[string]bool
+	FailOpens  map[string]bool
+}
+
+// ErrInjected is returned by Faulty for matched operations.
+var ErrInjected = fmt.Errorf("pfs: injected fault")
+
+// WriteFile implements Storage.
+func (f *Faulty) WriteFile(name string, data []byte) error {
+	if f.FailWrites[name] {
+		return fmt.Errorf("%w: write %s", ErrInjected, name)
+	}
+	return f.Storage.WriteFile(name, data)
+}
+
+// Open implements Storage.
+func (f *Faulty) Open(name string) (File, error) {
+	if f.FailOpens[name] {
+		return nil, fmt.Errorf("%w: open %s", ErrInjected, name)
+	}
+	return f.Storage.Open(name)
+}

@@ -1,0 +1,198 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"libbat/internal/geom"
+	"libbat/internal/particles"
+)
+
+// Cosmo is an N-body-style cosmology workload, the other domain the
+// paper's introduction motivates (HACC/Dark Sky-like): particles cluster
+// into halos whose concentration grows over time as structure forms. The
+// distribution is static-in-count but becomes progressively more
+// imbalanced, stressing the adaptive aggregation differently from the
+// coal boiler (growth) and dam break (advection).
+type Cosmo struct {
+	decomp *Decomp
+	schema particles.Schema
+	seed   int
+	total  int64
+	halos  []halo
+	// ClusteredFraction(step) of the particles live in halos; the rest
+	// stay in a uniform background that thins as structure forms.
+	MaxClustered float64
+	FormSteps    int
+}
+
+type halo struct {
+	center geom.Vec3
+	mass   float64
+	radius float64
+}
+
+// CosmoSchema: three float coordinates plus mass, velocity magnitude, and
+// local density attributes.
+func CosmoSchema() particles.Schema {
+	return particles.NewSchema("mass", "vel", "density")
+}
+
+// NewCosmo builds the workload with nHalos halos at deterministic random
+// positions in a unit box.
+func NewCosmo(nranks int, total int64, nHalos int) (*Cosmo, error) {
+	nx, ny, nz := Factor3D(nranks)
+	d, err := NewDecomp(geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1)), nx, ny, nz)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cosmo{
+		decomp:       d,
+		schema:       CosmoSchema(),
+		seed:         4,
+		total:        total,
+		MaxClustered: 0.85,
+		FormSteps:    1000,
+	}
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < nHalos; i++ {
+		c.halos = append(c.halos, halo{
+			center: geom.V3(r.Float64(), r.Float64(), r.Float64()),
+			mass:   0.2 + r.Float64(),
+			radius: 0.02 + 0.05*r.Float64(),
+		})
+	}
+	return c, nil
+}
+
+// Name implements Workload.
+func (c *Cosmo) Name() string { return "cosmo" }
+
+// Schema implements Workload.
+func (c *Cosmo) Schema() particles.Schema { return c.schema }
+
+// Decomp implements Workload.
+func (c *Cosmo) Decomp() *Decomp { return c.decomp }
+
+// clustered returns the halo mass fraction at a step.
+func (c *Cosmo) clustered(step int) float64 {
+	f := float64(step) / float64(c.FormSteps)
+	if f > 1 {
+		f = 1
+	}
+	return c.MaxClustered * f
+}
+
+// density evaluates the mixture density (background + halos) at a point.
+func (c *Cosmo) density(pt geom.Vec3, step int) float64 {
+	cl := c.clustered(step)
+	d := 1 - cl // uniform background
+	var hmass float64
+	for _, h := range c.halos {
+		hmass += h.mass
+	}
+	for _, h := range c.halos {
+		dist := pt.Sub(h.center).Length()
+		s := h.radius
+		d += cl * (h.mass / hmass) * math.Exp(-0.5*dist*dist/(s*s)) / (s * s * s)
+	}
+	return d
+}
+
+// Counts implements Workload.
+func (c *Cosmo) Counts(step int) []int64 {
+	n := c.decomp.NumRanks()
+	weights := make([]float64, n)
+	for r := 0; r < n; r++ {
+		b := c.decomp.RankBounds(r)
+		sz := b.Size()
+		var sum float64
+		for ix := 0; ix < 2; ix++ {
+			for iy := 0; iy < 2; iy++ {
+				for iz := 0; iz < 2; iz++ {
+					pt := geom.Vec3{
+						X: b.Lower.X + sz.X*(0.25+0.5*float64(ix)),
+						Y: b.Lower.Y + sz.Y*(0.25+0.5*float64(iy)),
+						Z: b.Lower.Z + sz.Z*(0.25+0.5*float64(iz)),
+					}
+					sum += c.density(pt, step)
+				}
+			}
+		}
+		weights[r] = sum * b.Volume()
+	}
+	return apportion(c.total, weights)
+}
+
+// Generate implements Workload: the clustered fraction samples Gaussian
+// offsets around a halo (rejecting positions outside the rank bounds); the
+// rest are uniform in the rank bounds.
+func (c *Cosmo) Generate(step, rank int) *particles.Set {
+	want := c.Counts(step)[rank]
+	r := rng(c.seed, step, rank)
+	b := c.decomp.RankBounds(rank)
+	sz := b.Size()
+	cl := c.clustered(step)
+	// Halos overlapping this rank, weighted by their density contribution
+	// at the rank center.
+	type cand struct {
+		h halo
+		w float64
+	}
+	var cands []cand
+	var wsum float64
+	for _, h := range c.halos {
+		dist := b.Center().Sub(h.center).Length()
+		w := h.mass * math.Exp(-0.5*dist*dist/(h.radius*h.radius*4))
+		if w > 1e-9 {
+			cands = append(cands, cand{h: h, w: w})
+			wsum += w
+		}
+	}
+	s := particles.NewSet(c.schema, int(want))
+	attrs := make([]float64, 3)
+	uniform := func() geom.Vec3 {
+		return geom.Vec3{
+			X: b.Lower.X + r.Float64()*sz.X,
+			Y: b.Lower.Y + r.Float64()*sz.Y,
+			Z: b.Lower.Z + r.Float64()*sz.Z,
+		}
+	}
+	for int64(s.Len()) < want {
+		var pt geom.Vec3
+		inHalo := false
+		if len(cands) > 0 && r.Float64() < cl {
+			// Pick a halo by weight and sample a Gaussian offset.
+			u := r.Float64() * wsum
+			var h halo
+			for _, cd := range cands {
+				if u -= cd.w; u <= 0 {
+					h = cd.h
+					break
+				}
+				h = cands[len(cands)-1].h
+			}
+			pt = geom.Vec3{
+				X: h.center.X + r.NormFloat64()*h.radius,
+				Y: h.center.Y + r.NormFloat64()*h.radius,
+				Z: h.center.Z + r.NormFloat64()*h.radius,
+			}
+			if !b.Contains(pt) {
+				continue // rejected; try again
+			}
+			inHalo = true
+		} else {
+			pt = uniform()
+		}
+		den := c.density(pt, step)
+		attrs[0] = 1 + 0.1*r.NormFloat64() // mass
+		if inHalo {
+			attrs[1] = 300 + 100*r.NormFloat64() // velocity dispersion in halos
+		} else {
+			attrs[1] = 50 + 20*r.NormFloat64()
+		}
+		attrs[2] = den
+		s.Append(pt, attrs)
+	}
+	return s
+}

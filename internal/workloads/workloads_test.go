@@ -1,0 +1,384 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"libbat/internal/geom"
+)
+
+func TestFactor3D(t *testing.T) {
+	cases := map[int][3]int{}
+	for _, n := range []int{1, 2, 6, 8, 64, 100, 1536, 6144, 43008} {
+		nx, ny, nz := Factor3D(n)
+		if nx*ny*nz != n {
+			t.Errorf("Factor3D(%d) = %dx%dx%d, product %d", n, nx, ny, nz, nx*ny*nz)
+		}
+		if nx < ny || ny < nz {
+			t.Errorf("Factor3D(%d) not ordered: %d %d %d", n, nx, ny, nz)
+		}
+		cases[n] = [3]int{nx, ny, nz}
+	}
+	// 64 should be a perfect cube.
+	if cases[64] != [3]int{4, 4, 4} {
+		t.Errorf("Factor3D(64) = %v", cases[64])
+	}
+}
+
+func TestDecompBounds(t *testing.T) {
+	domain := geom.NewBox(geom.V3(0, 0, 0), geom.V3(4, 2, 1))
+	d, err := NewDecomp(domain, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRanks() != 8 {
+		t.Fatalf("NumRanks = %d", d.NumRanks())
+	}
+	// Bounds tile the domain exactly: union of all == domain; total
+	// volume matches.
+	union := geom.EmptyBox()
+	var vol float64
+	for r := 0; r < 8; r++ {
+		b := d.RankBounds(r)
+		union = union.Union(b)
+		vol += b.Volume()
+	}
+	if union != domain {
+		t.Errorf("union %v != domain %v", union, domain)
+	}
+	if math.Abs(vol-domain.Volume()) > 1e-9 {
+		t.Errorf("volumes: %v vs %v", vol, domain.Volume())
+	}
+	// Coords round trip.
+	for r := 0; r < 8; r++ {
+		ix, iy, iz := d.Coords(r)
+		if ix < 0 || ix >= 4 || iy < 0 || iy >= 2 || iz != 0 {
+			t.Errorf("Coords(%d) = %d,%d,%d", r, ix, iy, iz)
+		}
+	}
+	if _, err := NewDecomp(domain, 0, 1, 1); err == nil {
+		t.Error("invalid decomp should error")
+	}
+}
+
+func TestApportion(t *testing.T) {
+	got := apportion(10, []float64{1, 1, 1, 1})
+	var sum int64
+	for _, v := range got {
+		sum += v
+	}
+	if sum != 10 {
+		t.Errorf("apportion sum = %d", sum)
+	}
+	// Zero weights get nothing.
+	got = apportion(100, []float64{0, 1, 0, 3})
+	if got[0] != 0 || got[2] != 0 || got[1]+got[3] != 100 || got[3] != 75 {
+		t.Errorf("apportion weights = %v", got)
+	}
+	// Degenerate inputs.
+	if r := apportion(0, []float64{1}); r[0] != 0 {
+		t.Error("zero total wrong")
+	}
+	if r := apportion(5, []float64{0, 0}); r[0] != 0 || r[1] != 0 {
+		t.Error("zero weights wrong")
+	}
+}
+
+func TestApportionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng(int(seed%1000), 0, 0)
+		n := 1 + r.Intn(50)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = r.Float64()
+		}
+		total := int64(r.Intn(100000))
+		out := apportion(total, weights)
+		var sum int64
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// checkWorkload runs the shared Workload contract checks.
+func checkWorkload(t *testing.T, w Workload, step int) {
+	t.Helper()
+	counts := w.Counts(step)
+	if len(counts) != w.Decomp().NumRanks() {
+		t.Fatalf("Counts len %d != ranks %d", len(counts), w.Decomp().NumRanks())
+	}
+	// Generate agrees with Counts and stays in bounds; spot-check a few
+	// ranks including the largest.
+	maxRank := 0
+	for r, c := range counts {
+		if c > counts[maxRank] {
+			maxRank = r
+		}
+	}
+	for _, r := range []int{0, maxRank, len(counts) - 1} {
+		s := w.Generate(step, r)
+		if int64(s.Len()) != counts[r] {
+			t.Fatalf("rank %d: Generate %d particles, Counts %d", r, s.Len(), counts[r])
+		}
+		b := w.Decomp().RankBounds(r)
+		// Allow float32 rounding slack at the boundary.
+		eps := 1e-5
+		grown := geom.NewBox(b.Lower.Sub(geom.V3(eps, eps, eps)), b.Upper.Add(geom.V3(eps, eps, eps)))
+		for i := 0; i < s.Len(); i++ {
+			if !grown.Contains(s.Position(i)) {
+				t.Fatalf("rank %d particle %d at %v outside bounds %v", r, i, s.Position(i), b)
+			}
+		}
+		// Deterministic.
+		s2 := w.Generate(step, r)
+		if s2.Len() != s.Len() || (s.Len() > 0 && (s.X[0] != s2.X[0] || s.Attrs[0][0] != s2.Attrs[0][0])) {
+			t.Fatalf("rank %d: Generate not deterministic", r)
+		}
+	}
+}
+
+func TestUniformWorkload(t *testing.T) {
+	u, err := NewUniform(64, 1000, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWorkload(t, u, 0)
+	if TotalCount(u, 0) != 64000 {
+		t.Errorf("total = %d", TotalCount(u, 0))
+	}
+	if u.Schema().NumAttrs() != 14 {
+		t.Errorf("attrs = %d", u.Schema().NumAttrs())
+	}
+	infos := RankInfos(u, 0)
+	if len(infos) != 64 || infos[5].Count != 1000 || infos[5].Rank != 5 {
+		t.Errorf("RankInfos wrong: %+v", infos[5])
+	}
+}
+
+func TestCoalBoilerGrowth(t *testing.T) {
+	cb, err := NewCoalBoiler(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Total(501) != 4_600_000 {
+		t.Errorf("Total(501) = %d", cb.Total(501))
+	}
+	if cb.Total(4501) != 41_500_000 {
+		t.Errorf("Total(4501) = %d", cb.Total(4501))
+	}
+	if cb.Total(100) != 4_600_000 || cb.Total(9999) != 41_500_000 {
+		t.Error("growth clamps wrong")
+	}
+	mid := cb.Total(2501)
+	if mid <= cb.Total(501) || mid >= cb.Total(4501) {
+		t.Errorf("mid total %d not between endpoints", mid)
+	}
+	// Counts sum to the total at several steps.
+	for _, step := range []int{501, 1501, 4501} {
+		if got := TotalCount(cb, step); got != cb.Total(step) {
+			t.Errorf("step %d: counts sum %d != total %d", step, got, cb.Total(step))
+		}
+	}
+}
+
+func TestCoalBoilerImbalance(t *testing.T) {
+	cb, err := NewCoalBoiler(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.SetGrowth(0, 100, 50_000, 200_000)
+	counts := cb.Counts(50)
+	var max, sum int64
+	nonzero := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		sum += c
+		if c > 0 {
+			nonzero++
+		}
+	}
+	mean := float64(sum) / float64(len(counts))
+	// The distribution must be strongly imbalanced (that is its purpose).
+	if float64(max) < 4*mean {
+		t.Errorf("coal boiler too uniform: max %d vs mean %.0f", max, mean)
+	}
+	if nonzero == len(counts) {
+		t.Log("note: all ranks have particles (plumes cover domain)")
+	}
+}
+
+func TestCoalBoilerGenerate(t *testing.T) {
+	cb, err := NewCoalBoiler(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.SetGrowth(0, 100, 20_000, 50_000)
+	checkWorkload(t, cb, 50)
+}
+
+func TestDamBreakFixedTotal(t *testing.T) {
+	db, err := NewDamBreak(64, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []int{0, 500, 1001, 2500, 4001} {
+		if got := TotalCount(db, step); got != 100_000 {
+			t.Errorf("step %d: total %d, want fixed 100000", step, got)
+		}
+	}
+}
+
+func TestDamBreakFrontMoves(t *testing.T) {
+	db, err := NewDamBreak(64, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center of mass along x must advance over time.
+	com := func(step int) float64 {
+		counts := db.Counts(step)
+		var m, mx float64
+		for r, c := range counts {
+			b := db.Decomp().RankBounds(r)
+			m += float64(c)
+			mx += float64(c) * b.Center().X
+		}
+		return mx / m
+	}
+	c0, c1, c2 := com(0), com(1000), com(3000)
+	if !(c0 < c1 && c1 < c2) {
+		t.Errorf("front not advancing: %.3f %.3f %.3f", c0, c1, c2)
+	}
+	// At t=0 everything is in the column (x <= x0): ranks beyond the
+	// column hold (nearly) nothing.
+	counts := db.Counts(0)
+	var inColumn, beyond int64
+	for r, c := range counts {
+		b := db.Decomp().RankBounds(r)
+		if b.Lower.X >= db.x0 {
+			beyond += c
+		} else {
+			inColumn += c
+		}
+	}
+	if beyond*50 > inColumn {
+		t.Errorf("t=0: %d particles beyond the column vs %d inside", beyond, inColumn)
+	}
+}
+
+func TestDamBreakGenerate(t *testing.T) {
+	db, err := NewDamBreak(16, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWorkload(t, db, 1000)
+	// 2D decomposition: all ranks span full z.
+	for r := 0; r < 16; r++ {
+		b := db.Decomp().RankBounds(r)
+		if b.Lower.Z != 0 || b.Upper.Z != db.Decomp().Domain.Upper.Z {
+			t.Fatalf("rank %d not full-z: %v", r, b)
+		}
+	}
+}
+
+func TestDamBreakImbalanceEvolves(t *testing.T) {
+	// The max/mean imbalance should change substantially across the time
+	// series (this is what makes AUG slow and adaptive fast).
+	db, err := NewDamBreak(64, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imbalance := func(step int) float64 {
+		counts := db.Counts(step)
+		var max, sum int64
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+			sum += c
+		}
+		return float64(max) * float64(len(counts)) / float64(sum)
+	}
+	early := imbalance(0)
+	late := imbalance(4000)
+	if early < 1.5 {
+		t.Errorf("t=0 should be strongly imbalanced, got %.2f", early)
+	}
+	if late >= early {
+		t.Errorf("imbalance should relax as water spreads: early %.2f late %.2f", early, late)
+	}
+}
+
+func TestCosmoConservesTotal(t *testing.T) {
+	c, err := NewCosmo(64, 100_000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []int{0, 500, 1000, 2000} {
+		if got := TotalCount(c, step); got != 100_000 {
+			t.Errorf("step %d total = %d", step, got)
+		}
+	}
+}
+
+func TestCosmoClusteringGrows(t *testing.T) {
+	c, err := NewCosmo(64, 200_000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imb := func(step int) float64 {
+		counts := c.Counts(step)
+		var max, sum int64
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+			sum += n
+		}
+		return float64(max) * float64(len(counts)) / float64(sum)
+	}
+	early, late := imb(0), imb(1000)
+	if early > 1.5 {
+		t.Errorf("t=0 should be near uniform, imbalance %.2f", early)
+	}
+	if late < 3*early {
+		t.Errorf("structure formation should add imbalance: %.2f -> %.2f", early, late)
+	}
+}
+
+func TestCosmoGenerate(t *testing.T) {
+	c, err := NewCosmo(8, 20_000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWorkload(t, c, 800)
+	// Halo particles carry much larger velocities; the heaviest rank at a
+	// clustered step is halo-dominated, while step 0 is pure background
+	// (vel ~ 50 +/- 20).
+	maxVel := func(step int) float64 {
+		counts := c.Counts(step)
+		heavy := 0
+		for r, n := range counts {
+			if n > counts[heavy] {
+				heavy = r
+			}
+		}
+		return c.Generate(step, heavy).AttrRange(1).Max
+	}
+	if v := maxVel(0); v > 250 {
+		t.Errorf("step 0 max velocity %.0f looks like a halo", v)
+	}
+	if v := maxVel(1000); v < 250 {
+		t.Errorf("clustered step max velocity %.0f lacks halo particles", v)
+	}
+}

@@ -1,0 +1,373 @@
+// Package libbat is a Go reproduction of "Adaptive Spatially Aware I/O for
+// Multiresolution Particle Data Layouts" (Usher et al., IPDPS 2021): a
+// parallel I/O library for particle data that aggregates ranks through an
+// adaptive k-d tree over their spatial bounds and writes each aggregation
+// group as a Binned Attribute Tree (BAT) — a multiresolution, bitmap-
+// indexed layout directly usable for visualization and analysis.
+//
+// The library has three layers:
+//
+//   - Collective I/O: Write and Read are called by every rank of a Fabric
+//     (a simulated MPI world; ranks are goroutines) and implement the
+//     paper's two-phase pipelines.
+//   - Datasets: OpenDataset gives single-process access to a written
+//     dataset as if it were one file, with spatial and attribute filtered
+//     progressive multiresolution queries.
+//   - Building blocks: the aggregation tree, the AUG baseline, the BAT
+//     layout, the IOR-style baselines and the Stampede2/Summit cost models
+//     live in internal packages and power the benchmark harness
+//     (cmd/batbench) that regenerates the paper's tables and figures.
+package libbat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"libbat/internal/bat"
+	"libbat/internal/core"
+	"libbat/internal/fabric"
+	"libbat/internal/geom"
+	"libbat/internal/meta"
+	"libbat/internal/particles"
+	"libbat/internal/pfs"
+)
+
+// Re-exported core types. These aliases are the public names of the
+// library's data model; the internal packages are implementation detail.
+type (
+	// Vec3 is a 3D point.
+	Vec3 = geom.Vec3
+	// Box is an axis-aligned bounding box.
+	Box = geom.Box
+	// Schema describes a particle's attributes.
+	Schema = particles.Schema
+	// AttrDesc names one attribute.
+	AttrDesc = particles.AttrDesc
+	// ParticleSet is the structure-of-arrays particle container.
+	ParticleSet = particles.Set
+	// Comm is one rank's communicator handle.
+	Comm = fabric.Comm
+	// Fabric connects the ranks of a collective run.
+	Fabric = fabric.Fabric
+	// Storage is the output namespace (directory or memory).
+	Storage = pfs.Storage
+	// WriteConfig configures collective writes.
+	WriteConfig = core.WriteConfig
+	// WriteStats reports per-phase write timings.
+	WriteStats = core.WriteStats
+	// ReadStats reports per-phase read timings.
+	ReadStats = core.ReadStats
+	// Strategy selects adaptive or AUG aggregation.
+	Strategy = core.Strategy
+	// Query describes a visualization read.
+	Query = bat.Query
+	// AttrFilter restricts a query to an attribute interval.
+	AttrFilter = bat.AttrFilter
+	// Visitor receives query results.
+	Visitor = bat.Visitor
+	// Layout is the pluggable leaf file format (paper §VII extension);
+	// the default is the BAT.
+	Layout = core.Layout
+	// LayoutResult is a built leaf image plus its metadata summary.
+	LayoutResult = core.LayoutResult
+	// RawLayout writes flat particle arrays (template for custom layouts).
+	RawLayout = core.RawLayout
+)
+
+// Aggregation strategies.
+const (
+	Adaptive = core.Adaptive
+	AUG      = core.AUG
+)
+
+// Receive wildcards for Comm.Recv/Irecv/Probe.
+const (
+	AnySource = fabric.AnySource
+	AnyTag    = fabric.AnyTag
+)
+
+// V3 constructs a Vec3.
+func V3(x, y, z float64) Vec3 { return geom.V3(x, y, z) }
+
+// UnmarshalParticles reverses ParticleSet.Marshal (used when moving
+// particle payloads over the fabric by hand, e.g. migration exchanges).
+func UnmarshalParticles(buf []byte, schema Schema) (*ParticleSet, error) {
+	return particles.Unmarshal(buf, schema)
+}
+
+// Exchange performs an all-to-all particle migration: outgoing[r] is sent
+// to rank r, and the result is everything addressed to this rank. Use it
+// to rebalance particles onto their owning ranks before a collective
+// Write.
+func Exchange(c *Comm, schema Schema, outgoing []*ParticleSet) (*ParticleSet, error) {
+	return core.Exchange(c, schema, outgoing)
+}
+
+// NewBox constructs a Box.
+func NewBox(lower, upper Vec3) Box { return geom.NewBox(lower, upper) }
+
+// NewSchema builds a schema of float64 attributes.
+func NewSchema(names ...string) Schema { return particles.NewSchema(names...) }
+
+// NewParticleSet returns an empty particle set with capacity for n.
+func NewParticleSet(schema Schema, n int) *ParticleSet { return particles.NewSet(schema, n) }
+
+// NewFabric connects size ranks.
+func NewFabric(size int) *Fabric { return fabric.New(size) }
+
+// Run spawns size ranks running body and waits for all of them.
+func Run(size int, body func(c *Comm) error) error { return fabric.Run(size, body) }
+
+// DirStorage opens (creating if needed) a directory as dataset storage.
+func DirStorage(dir string) (Storage, error) { return pfs.NewOS(dir) }
+
+// MemStorage returns an in-memory store (tests, in-transit pipelines).
+func MemStorage() Storage { return pfs.NewMem() }
+
+// DefaultWriteConfig returns the paper's evaluation configuration for a
+// target file size (adaptive aggregation, overfull leaves up to 1.5x at
+// balance ratio 4, 12-bit subprefix BATs with 8 LOD particles per node).
+func DefaultWriteConfig(targetFileSize int64) WriteConfig {
+	return core.DefaultWriteConfig(targetFileSize)
+}
+
+// Write performs the collective spatially aware adaptive two-phase write
+// (paper §III). Every rank calls it with its local particles and bounds;
+// leaf BAT files and a top-level metadata file are written under base.
+func Write(c *Comm, store Storage, base string, local *ParticleSet, bounds Box, cfg WriteConfig) (*WriteStats, error) {
+	return core.Write(c, store, base, local, bounds, cfg)
+}
+
+// Read performs the collective two-phase read (paper §IV), returning the
+// particles inside bounds.
+func Read(c *Comm, store Storage, base string, bounds Box) (*ParticleSet, *ReadStats, error) {
+	return core.Read(c, store, base, bounds)
+}
+
+// ReadQuery is the collective read with a full query per rank — spatial
+// bounds, attribute filters, and a progressive quality window — the
+// distributed in situ analytics path of paper §IV-B.
+func ReadQuery(c *Comm, store Storage, base string, q Query) (*ParticleSet, *ReadStats, error) {
+	return core.ReadQuery(c, store, base, q)
+}
+
+// RecommendTargetSize implements the paper's tuning guidance (§VI-A.2) as
+// an automatic policy, a future-work item of §VII-A: small aggregation
+// factors (1:1 to 4:1) at low rank or particle counts, growing to 16:1 and
+// beyond at scale so the file count stays bounded.
+func RecommendTargetSize(ranks int, bytesPerRank int64) int64 {
+	factor := int64(1)
+	switch {
+	case ranks >= 16384:
+		factor = 32
+	case ranks >= 4096:
+		factor = 16
+	case ranks >= 1024:
+		factor = 8
+	case ranks >= 256:
+		factor = 4
+	case ranks >= 64:
+		factor = 2
+	}
+	target := factor * bytesPerRank
+	const minTarget = 1 << 20
+	if target < minTarget {
+		return minTarget
+	}
+	return target
+}
+
+// ListDatasets returns the base names of all datasets in store with the
+// given prefix ("" for all), sorted — a simulation's time series.
+func ListDatasets(store Storage, prefix string) ([]string, error) {
+	all, err := store.List()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, n := range all {
+		if strings.HasSuffix(n, metaSuffix) && strings.HasPrefix(n, prefix) {
+			names = append(names, strings.TrimSuffix(n, metaSuffix))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+const metaSuffix = ".batm"
+
+// Dataset is single-process read access to a written dataset, treating the
+// whole collection of leaf files as one queryable store (paper §III-D, §V).
+type Dataset struct {
+	store pfs.Storage
+	meta  *meta.Meta
+	files map[int]*bat.File
+}
+
+// OpenDataset opens the dataset written under base in store.
+func OpenDataset(store Storage, base string) (*Dataset, error) {
+	f, err := store.Open(core.MetaFileName(base))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := readFull(f, buf); err != nil {
+		return nil, err
+	}
+	m, err := meta.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{store: store, meta: m, files: make(map[int]*bat.File)}, nil
+}
+
+func readFull(f pfs.File, buf []byte) (int, error) {
+	n, err := f.ReadAt(buf, 0)
+	if n == len(buf) {
+		return n, nil
+	}
+	return n, err
+}
+
+// Close releases all opened leaf files.
+func (d *Dataset) Close() error {
+	var first error
+	for _, f := range d.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	d.files = map[int]*bat.File{}
+	return first
+}
+
+// Schema returns the dataset's attribute schema.
+func (d *Dataset) Schema() Schema { return d.meta.Schema }
+
+// Bounds returns the dataset's spatial domain.
+func (d *Dataset) Bounds() Box { return d.meta.Domain }
+
+// NumParticles returns the dataset's total particle count.
+func (d *Dataset) NumParticles() int64 { return d.meta.TotalCount() }
+
+// NumFiles returns the number of leaf files.
+func (d *Dataset) NumFiles() int { return len(d.meta.Leaves) }
+
+// AttrRange returns the global value range of an attribute.
+func (d *Dataset) AttrRange(attr int) (min, max float64, err error) {
+	if attr < 0 || attr >= d.meta.Schema.NumAttrs() {
+		return 0, 0, fmt.Errorf("libbat: attribute %d out of range", attr)
+	}
+	r := d.meta.GlobalRanges[attr]
+	return r.Min, r.Max, nil
+}
+
+// leaf opens (and caches) leaf file li.
+func (d *Dataset) leaf(li int) (*bat.File, error) {
+	if f, ok := d.files[li]; ok {
+		return f, nil
+	}
+	h, err := d.store.Open(d.meta.Leaves[li].FileName)
+	if err != nil {
+		return nil, err
+	}
+	f, err := bat.Decode(h, h.Size())
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	f.SetCloser(h)
+	d.files[li] = f
+	return f, nil
+}
+
+// Query runs a visualization read over the whole dataset (paper §V): the
+// Aggregation Tree prunes leaf files spatially and by attribute bitmap
+// before each surviving file's BAT is traversed. Progressive quality
+// windows apply per leaf file.
+func (d *Dataset) Query(q Query, visit Visitor) error {
+	var filters []meta.AttrFilter
+	for _, f := range q.Filters {
+		filters = append(filters, meta.AttrFilter{Attr: f.Attr, Min: f.Min, Max: f.Max})
+	}
+	selected := d.meta.SelectLeaves(q.Bounds, filters)
+	for _, li := range selected {
+		f, err := d.leaf(li)
+		if err != nil {
+			return err
+		}
+		if err := f.Query(q, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of particles a query would visit.
+func (d *Dataset) Count(q Query) (int64, error) {
+	var n int64
+	err := d.Query(q, func(Vec3, []float64) error {
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// ReadAll collects every particle into one set.
+func (d *Dataset) ReadAll() (*ParticleSet, error) {
+	out := particles.NewSet(d.meta.Schema, int(d.meta.TotalCount()))
+	err := d.Query(Query{}, func(p Vec3, attrs []float64) error {
+		out.Append(p, attrs)
+		return nil
+	})
+	return out, err
+}
+
+// LeafInfo describes one leaf file of a dataset.
+type LeafInfo struct {
+	FileName string
+	Bounds   Box
+	Count    int64
+}
+
+// Leaves returns the dataset's leaf files in aggregation order.
+func (d *Dataset) Leaves() []LeafInfo {
+	out := make([]LeafInfo, len(d.meta.Leaves))
+	for i, l := range d.meta.Leaves {
+		out[i] = LeafInfo{FileName: l.FileName, Bounds: l.Bounds, Count: l.Count}
+	}
+	return out
+}
+
+// Histogram bins the values of one attribute matched by a query into
+// `bins` equal-width buckets over the attribute's global range — a typical
+// analysis pass over the layout. Quality below 1 computes the histogram
+// from the LOD subset only, trading exactness for latency (§V-B).
+func (d *Dataset) Histogram(attr, bins int, q Query) ([]int64, error) {
+	if attr < 0 || attr >= d.meta.Schema.NumAttrs() {
+		return nil, fmt.Errorf("libbat: attribute %d out of range", attr)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("libbat: need at least 1 bin")
+	}
+	r := d.meta.GlobalRanges[attr]
+	width := r.Max - r.Min
+	out := make([]int64, bins)
+	err := d.Query(q, func(_ Vec3, attrs []float64) error {
+		b := 0
+		if width > 0 {
+			b = int((attrs[attr] - r.Min) / width * float64(bins))
+			if b < 0 {
+				b = 0
+			}
+			if b >= bins {
+				b = bins - 1
+			}
+		}
+		out[b]++
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,282 @@
+package libbat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// writeTestDataset writes an 8-rank clustered dataset and returns its
+// store and the number of particles written.
+func writeTestDataset(t *testing.T, base string, target int64) (Storage, int) {
+	t.Helper()
+	store := MemStorage()
+	const perRank = 800
+	err := Run(8, func(c *Comm) error {
+		r := rand.New(rand.NewSource(int64(c.Rank())))
+		lo := V3(float64(c.Rank()%4), float64(c.Rank()/4), 0)
+		bounds := NewBox(lo, lo.Add(V3(1, 1, 1)))
+		local := NewParticleSet(NewSchema("temp", "id"), perRank)
+		for i := 0; i < perRank; i++ {
+			p := lo.Add(V3(r.Float64(), r.Float64(), r.Float64()))
+			local.Append(p, []float64{p.X * 100, float64(c.Rank()*perRank + i)})
+		}
+		_, err := Write(c, store, base, local, bounds, DefaultWriteConfig(target))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, 8 * perRank
+}
+
+func TestPublicWriteAndDataset(t *testing.T) {
+	store, total := writeTestDataset(t, "pub", 20*1024)
+	ds, err := OpenDataset(store, "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.NumParticles() != int64(total) {
+		t.Errorf("NumParticles = %d, want %d", ds.NumParticles(), total)
+	}
+	if ds.NumFiles() < 2 {
+		t.Errorf("NumFiles = %d", ds.NumFiles())
+	}
+	if ds.Schema().NumAttrs() != 2 {
+		t.Errorf("schema attrs = %d", ds.Schema().NumAttrs())
+	}
+	got, err := ds.ReadAll()
+	if err != nil || got.Len() != total {
+		t.Fatalf("ReadAll: %v, %d particles", err, got.Len())
+	}
+	min, max, err := ds.AttrRange(0)
+	if err != nil || min >= max {
+		t.Errorf("AttrRange = [%g,%g], %v", min, max, err)
+	}
+	if _, _, err := ds.AttrRange(9); err == nil {
+		t.Error("bad attr should error")
+	}
+}
+
+func TestDatasetSpatialAndAttrQuery(t *testing.T) {
+	store, _ := writeTestDataset(t, "q", 20*1024)
+	ds, err := OpenDataset(store, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	all, err := ds.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := NewBox(V3(0.5, 0.5, 0), V3(2.5, 1.5, 1))
+	want := 0
+	for i := 0; i < all.Len(); i++ {
+		p := all.Position(i)
+		if box.Contains(p) && all.Attrs[0][i] >= 100 && all.Attrs[0][i] <= 220 {
+			want++
+		}
+	}
+	got, err := ds.Count(Query{
+		Bounds:  &box,
+		Filters: []AttrFilter{{Attr: 0, Min: 100, Max: 220}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(got) != want {
+		t.Errorf("query = %d, brute force = %d", got, want)
+	}
+}
+
+func TestDatasetProgressive(t *testing.T) {
+	store, total := writeTestDataset(t, "prog", 15*1024)
+	ds, err := OpenDataset(store, "prog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	var sum int64
+	prev := 0.0
+	for s := 1; s <= 4; s++ {
+		q := float64(s) / 4
+		n, err := ds.Count(Query{PrevQuality: prev, Quality: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += n
+		prev = q
+	}
+	if sum != int64(total) {
+		t.Errorf("progressive total = %d, want %d", sum, total)
+	}
+}
+
+func TestCollectiveRead(t *testing.T) {
+	store, _ := writeTestDataset(t, "cr", 30*1024)
+	err := Run(4, func(c *Comm) error {
+		lo := V3(float64(c.Rank()), 0, 0)
+		got, stats, err := Read(c, store, "cr", NewBox(lo, lo.Add(V3(1, 2, 1))))
+		if err != nil {
+			return err
+		}
+		if got.Len() == 0 {
+			return fmt.Errorf("rank %d read nothing", c.Rank())
+		}
+		if stats.Total() <= 0 {
+			return fmt.Errorf("rank %d: empty stats", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecommendTargetSize(t *testing.T) {
+	bpr := int64(4 << 20)
+	small := RecommendTargetSize(16, bpr)
+	mid := RecommendTargetSize(1536, bpr)
+	big := RecommendTargetSize(24576, bpr)
+	if small != bpr {
+		t.Errorf("small scale should be 1:1, got %d", small)
+	}
+	if mid <= small || big <= mid {
+		t.Errorf("target should grow with scale: %d %d %d", small, mid, big)
+	}
+	if big/bpr < 16 {
+		t.Errorf("large scale factor = %d, want >= 16", big/bpr)
+	}
+	// Tiny payloads clamp to a sane floor.
+	if got := RecommendTargetSize(4, 100); got != 1<<20 {
+		t.Errorf("floor = %d", got)
+	}
+}
+
+func TestDirStorage(t *testing.T) {
+	store, err := DirStorage(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFile("x", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatasetLeaves(t *testing.T) {
+	store, total := writeTestDataset(t, "lv", 20*1024)
+	ds, err := OpenDataset(store, "lv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	leaves := ds.Leaves()
+	if len(leaves) != ds.NumFiles() {
+		t.Fatalf("Leaves() = %d, NumFiles = %d", len(leaves), ds.NumFiles())
+	}
+	var sum int64
+	for _, l := range leaves {
+		if l.FileName == "" || l.Count <= 0 {
+			t.Errorf("bad leaf info %+v", l)
+		}
+		if !ds.Bounds().ContainsBox(l.Bounds) {
+			t.Errorf("leaf bounds escape dataset bounds")
+		}
+		sum += l.Count
+	}
+	if sum != int64(total) {
+		t.Errorf("leaf counts sum to %d, want %d", sum, total)
+	}
+}
+
+func TestDatasetHistogram(t *testing.T) {
+	store, total := writeTestDataset(t, "hist", 20*1024)
+	ds, err := OpenDataset(store, "hist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	h, err := ds.Histogram(0, 8, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, c := range h {
+		sum += c
+	}
+	if sum != int64(total) {
+		t.Fatalf("histogram sums to %d, want %d", sum, total)
+	}
+	// Matches brute force binning of ReadAll.
+	all, _ := ds.ReadAll()
+	min, max, _ := ds.AttrRange(0)
+	want := make([]int64, 8)
+	for i := 0; i < all.Len(); i++ {
+		b := int((all.Attrs[0][i] - min) / (max - min) * 8)
+		if b > 7 {
+			b = 7
+		}
+		if b < 0 {
+			b = 0
+		}
+		want[b]++
+	}
+	for i := range h {
+		if h[i] != want[i] {
+			t.Fatalf("bin %d: %d != %d", i, h[i], want[i])
+		}
+	}
+	// LOD histogram is a subsample.
+	lod, err := ds.Histogram(0, 8, Query{Quality: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lodSum int64
+	for _, c := range lod {
+		lodSum += c
+	}
+	if lodSum == 0 || lodSum >= sum {
+		t.Errorf("LOD histogram has %d of %d samples", lodSum, sum)
+	}
+	// Errors.
+	if _, err := ds.Histogram(9, 8, Query{}); err == nil {
+		t.Error("bad attr should error")
+	}
+	if _, err := ds.Histogram(0, 0, Query{}); err == nil {
+		t.Error("zero bins should error")
+	}
+}
+
+func TestListDatasets(t *testing.T) {
+	store, _ := writeTestDataset(t, "series-a", 1<<20)
+	// Add a second dataset to the same store.
+	err := Run(2, func(c *Comm) error {
+		lo := V3(float64(c.Rank()), 0, 0)
+		local := NewParticleSet(NewSchema("v"), 10)
+		for i := 0; i < 10; i++ {
+			local.Append(lo.Add(V3(0.5, 0.5, 0.5)), []float64{1})
+		}
+		_, err := Write(c, store, "series-b", local,
+			NewBox(lo, lo.Add(V3(1, 1, 1))), DefaultWriteConfig(1<<20))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := ListDatasets(store, "series-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "series-a" || names[1] != "series-b" {
+		t.Errorf("ListDatasets = %v", names)
+	}
+	only, err := ListDatasets(store, "series-b")
+	if err != nil || len(only) != 1 {
+		t.Errorf("prefix filter = %v, %v", only, err)
+	}
+	none, err := ListDatasets(store, "zzz")
+	if err != nil || len(none) != 0 {
+		t.Errorf("missing prefix = %v, %v", none, err)
+	}
+}

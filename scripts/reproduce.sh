@@ -1,0 +1,22 @@
+#!/bin/sh
+# Regenerates every experiment in EXPERIMENTS.md into ./results (text + CSV
+# per table) and runs the test and benchmark suites. Takes a few minutes.
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT=${1:-results}
+
+echo "== building =="
+go build ./...
+go vet ./...
+
+echo "== tests =="
+go test ./...
+
+echo "== figures, tables, ablations, extensions -> $OUT =="
+go run ./cmd/batbench -all -outdir "$OUT"
+
+echo "== benchmarks =="
+go test -bench=. -benchmem . ./internal/bat/
+
+echo "done; tables are under $OUT/"
