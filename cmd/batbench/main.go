@@ -22,8 +22,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"libbat/internal/bench"
+	"libbat/internal/cliutil"
+	"libbat/internal/mmapio"
 	"libbat/internal/perf"
 )
 
@@ -72,8 +75,15 @@ func main() {
 		dir       = flag.String("dir", "", "directory for materialized datasets (default: in-memory)")
 		visRanks  = flag.Int("vis-ranks", 32, "ranks for the materialized visualization benchmarks")
 		visScale  = flag.Int64("vis-particles", 300_000, "particles for the materialized benchmarks")
+		statsOut  = flag.String("stats", "", "write telemetry from the materialized runs as JSON to this file")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event timeline of the materialized runs to this file")
 	)
 	flag.Parse()
+	obsFlags := cliutil.ObsFlags{StatsPath: *statsOut, TracePath: *traceOut}
+	if col := obsFlags.Collector(); col != nil {
+		bench.Observer = col
+		mmapio.SetCollector(col)
+	}
 	if !*all && *fig == 0 && *table == 0 && !*fileStats && !*overhead && !*ablate && !*ext && !*measured {
 		flag.Usage()
 		os.Exit(2)
@@ -205,4 +215,44 @@ func main() {
 		runTable(1)
 		runTable(2)
 	}
+	if bench.Observer != nil {
+		emit(phaseBreakdown(), nil)
+		if err := obsFlags.Dump(bench.Observer); err != nil {
+			fmt.Fprintln(os.Stderr, "batbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// phaseBreakdown condenses the collector's spans into a per-phase table
+// (aggregated over ranks and runs) printed alongside the benchmark totals.
+func phaseBreakdown() *bench.Table {
+	t := &bench.Table{
+		Title:  "Telemetry: per-phase time across all materialized runs",
+		Header: []string{"phase", "spans", "total", "mean"},
+	}
+	type agg struct {
+		count int64
+		total time.Duration
+	}
+	byPhase := map[string]*agg{}
+	var order []string
+	for _, sp := range bench.Observer.Snapshot().Spans {
+		a, ok := byPhase[sp.Name]
+		if !ok {
+			a = &agg{}
+			byPhase[sp.Name] = a
+			order = append(order, sp.Name)
+		}
+		a.count += sp.Count
+		a.total += sp.TotalNs
+	}
+	for _, name := range order {
+		a := byPhase[name]
+		t.AddRow(name, fmt.Sprintf("%d", a.count),
+			a.total.Round(time.Microsecond).String(),
+			(a.total / time.Duration(a.count)).Round(time.Microsecond).String())
+	}
+	t.Notes = append(t.Notes, "spans cover the full-fidelity (materialized) pipelines only; modeled runs have no telemetry")
+	return t
 }

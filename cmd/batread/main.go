@@ -18,6 +18,9 @@ import (
 
 	"libbat"
 	"libbat/internal/bench"
+	"libbat/internal/cliutil"
+	"libbat/internal/mmapio"
+	"libbat/internal/pfs"
 )
 
 // filterFlags accumulates repeated -filter attr,min,max arguments.
@@ -49,12 +52,14 @@ func (f *filterFlags) Set(v string) error {
 func main() {
 	var filters filterFlags
 	var (
-		in      = flag.String("in", "bat-out", "dataset directory")
-		name    = flag.String("name", "", "dataset base name (required)")
-		ranks   = flag.Int("ranks", 8, "number of simulated reader ranks")
-		vis     = flag.Bool("vis", false, "run the progressive visualization read benchmark instead")
-		quality = flag.Float64("quality", 1, "LOD quality in (0,1] for -count queries")
-		count   = flag.Bool("count", false, "count particles matching -filter/-quality and exit")
+		in       = flag.String("in", "bat-out", "dataset directory")
+		name     = flag.String("name", "", "dataset base name (required)")
+		ranks    = flag.Int("ranks", 8, "number of simulated reader ranks")
+		vis      = flag.Bool("vis", false, "run the progressive visualization read benchmark instead")
+		quality  = flag.Float64("quality", 1, "LOD quality in (0,1] for -count queries")
+		count    = flag.Bool("count", false, "count particles matching -filter/-quality and exit")
+		statsOut = flag.String("stats", "", "write telemetry counters/histograms/spans as JSON to this file")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 	)
 	flag.Var(&filters, "filter", "attribute filter attr,min,max (repeatable, with -count)")
 	flag.Parse()
@@ -69,6 +74,18 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	obsFlags := cliutil.ObsFlags{StatsPath: *statsOut, TracePath: *traceOut}
+	col := obsFlags.Collector()
+	if col != nil {
+		store = pfs.Observe(store, col)
+		mmapio.SetCollector(col)
+		bench.Observer = col
+	}
+	dump := func() {
+		if err := obsFlags.Dump(col); err != nil {
+			fail(err)
+		}
+	}
 
 	if *count {
 		ds, err := libbat.OpenDataset(store, *name)
@@ -82,6 +99,7 @@ func main() {
 		}
 		fmt.Printf("%d of %d particles match (quality %.2f, %d filters)\n",
 			n, ds.NumParticles(), *quality, len(filters))
+		dump()
 		return
 	}
 
@@ -92,6 +110,7 @@ func main() {
 		}
 		fmt.Printf("progressive read (quality 0.1..1.0): avg %.2f ms/read, %.0f pts/ms, %d points total\n",
 			res.AvgReadMs, res.PtsPerMs, res.TotalPts)
+		dump()
 		return
 	}
 
@@ -106,7 +125,9 @@ func main() {
 	var mu sync.Mutex
 	var sumParticles int64
 	start := time.Now()
-	err = libbat.Run(*ranks, func(c *libbat.Comm) error {
+	f := libbat.NewFabric(*ranks)
+	f.SetObserver(col)
+	err = f.Run(func(c *libbat.Comm) error {
 		// Each reader takes a slab of the domain along the longest axis.
 		axis := domain.LongestAxis()
 		lo := domain.Lower.Component(axis) + domain.Size().Component(axis)*float64(c.Rank())/float64(*ranks)
@@ -133,4 +154,5 @@ func main() {
 	}
 	fmt.Printf("read %d particles (dataset holds %d) on %d ranks in %v\n",
 		sumParticles, total, *ranks, time.Since(start).Round(time.Millisecond))
+	dump()
 }

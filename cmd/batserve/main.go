@@ -24,8 +24,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"libbat"
+	"libbat/internal/obs"
 )
 
 type server struct {
@@ -33,6 +35,57 @@ type server struct {
 	store libbat.Storage
 	names []string // time series of dataset base names
 	open  map[int]*libbat.Dataset
+	col   *obs.Collector // backs /metrics
+}
+
+// jsonError replies with a JSON error body and the given status code.
+func jsonError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// statusRecorder captures the status code a handler sent (200 if it only
+// ever wrote the body) so request counters can be labeled by outcome.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code, r.wrote = code, true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.code, r.wrote = http.StatusOK, true
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with a per-path request counter (labeled by
+// status code) and a request latency histogram, both served on /metrics.
+func (s *server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	dur := s.col.Histogram("http_request_duration_seconds",
+		obs.DefLatencyBuckets(), obs.L("path", path))
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		dur.Observe(time.Since(start).Seconds())
+		s.col.Add("http_requests_total", 1,
+			obs.L("path", path), obs.L("code", strconv.Itoa(rec.code)))
+	}
+}
+
+// metrics exposes every counter and histogram in Prometheus text format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.col.WritePrometheus(w)
 }
 
 // dataset lazily opens timestep i of the series.
@@ -89,14 +142,15 @@ func main() {
 	if err != nil {
 		log.Fatal("batserve: ", err)
 	}
-	s := &server{store: store, names: names, open: map[int]*libbat.Dataset{}}
+	s := &server{store: store, names: names, open: map[int]*libbat.Dataset{}, col: obs.New()}
 	ds, err := s.dataset(0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	http.HandleFunc("/", s.page)
-	http.HandleFunc("/info", s.info)
-	http.HandleFunc("/points", s.points)
+	http.HandleFunc("/", s.instrument("/", s.page))
+	http.HandleFunc("/info", s.instrument("/info", s.info))
+	http.HandleFunc("/points", s.instrument("/points", s.points))
+	http.HandleFunc("/metrics", s.metrics)
 	log.Printf("batserve: %d timesteps (first: %d particles in %d files); listening on http://%s",
 		len(names), ds.NumParticles(), ds.NumFiles(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, nil))
@@ -111,17 +165,33 @@ func (s *server) stepParam(r *http.Request) (int, error) {
 	return strconv.Atoi(v)
 }
 
-func (s *server) info(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// openStep resolves the request's timestep to an open dataset, replying
+// with 400 for bad/out-of-range steps and 500 for datasets that fail to
+// open. Callers must hold s.mu.
+func (s *server) openStep(w http.ResponseWriter, r *http.Request) (*libbat.Dataset, int, bool) {
 	step, err := s.stepParam(r)
 	if err != nil {
-		http.Error(w, "bad step", http.StatusBadRequest)
-		return
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("bad step: %v", err))
+		return nil, 0, false
+	}
+	if step < 0 || step >= len(s.names) {
+		jsonError(w, http.StatusBadRequest,
+			fmt.Errorf("step %d out of range [0,%d)", step, len(s.names)))
+		return nil, 0, false
 	}
 	ds, err := s.dataset(step)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusInternalServerError, err)
+		return nil, 0, false
+	}
+	return ds, step, true
+}
+
+func (s *server) info(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds, step, ok := s.openStep(w, r)
+	if !ok {
 		return
 	}
 	b := ds.Bounds()
@@ -164,7 +234,7 @@ func (s *server) points(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("quality"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			http.Error(w, "bad quality", http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, fmt.Errorf("bad quality: %v", err))
 			return
 		}
 		q.Quality = f
@@ -172,7 +242,7 @@ func (s *server) points(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("prev"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			http.Error(w, "bad prev", http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, fmt.Errorf("bad prev: %v", err))
 			return
 		}
 		q.PrevQuality = f
@@ -180,7 +250,7 @@ func (s *server) points(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("box"); v != "" {
 		vals, err := parseFloats(v, 6)
 		if err != nil {
-			http.Error(w, "bad box: "+err.Error(), http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, fmt.Errorf("bad box: %v", err))
 			return
 		}
 		box := libbat.NewBox(libbat.V3(vals[0], vals[1], vals[2]), libbat.V3(vals[3], vals[4], vals[5]))
@@ -189,41 +259,43 @@ func (s *server) points(w http.ResponseWriter, r *http.Request) {
 	for _, v := range r.URL.Query()["filter"] {
 		vals, err := parseFloats(v, 3)
 		if err != nil {
-			http.Error(w, "bad filter: "+err.Error(), http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, fmt.Errorf("bad filter: %v", err))
 			return
 		}
 		q.Filters = append(q.Filters, libbat.AttrFilter{Attr: int(vals[0]), Min: vals[1], Max: vals[2]})
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	step, err := s.stepParam(r)
-	if err != nil {
-		http.Error(w, "bad step", http.StatusBadRequest)
-		return
-	}
-	ds, err := s.dataset(step)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	ds, step, ok := s.openStep(w, r)
+	if !ok {
 		return
 	}
 	attr := -1
 	if v := r.URL.Query().Get("attr"); v != "" {
 		a, err := strconv.Atoi(v)
 		if err != nil || a < 0 || a >= ds.Schema().NumAttrs() {
-			http.Error(w, "bad attr", http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, fmt.Errorf("bad attr %q", v))
 			return
 		}
 		attr = a
 	}
 
 	// Stream xyz (and optionally one attribute) as little-endian float32.
-	w.Header().Set("Content-Type", "application/octet-stream")
+	// The Content-Type only commits once the first point is written, so a
+	// query that fails before producing any data can still return a real
+	// error status instead of an empty 200.
 	buf := make([]byte, 16)
 	stride := 12
 	if attr >= 0 {
 		stride = 16
 	}
-	err = ds.Query(q, func(p libbat.Vec3, attrs []float64) error {
+	var points int64
+	qStart := time.Now()
+	err := ds.Query(q, func(p libbat.Vec3, attrs []float64) error {
+		if points == 0 {
+			w.Header().Set("Content-Type", "application/octet-stream")
+		}
+		points++
 		binary.LittleEndian.PutUint32(buf[0:], math.Float32bits(float32(p.X)))
 		binary.LittleEndian.PutUint32(buf[4:], math.Float32bits(float32(p.Y)))
 		binary.LittleEndian.PutUint32(buf[8:], math.Float32bits(float32(p.Z)))
@@ -233,8 +305,21 @@ func (s *server) points(w http.ResponseWriter, r *http.Request) {
 		_, err := w.Write(buf[:stride])
 		return err
 	})
+	s.col.Histogram("query_duration_seconds", obs.DefLatencyBuckets(),
+		obs.L("step", strconv.Itoa(step))).Observe(time.Since(qStart).Seconds())
+	s.col.Add("points_streamed_total", points)
 	if err != nil {
-		log.Printf("batserve: query aborted: %v", err)
+		if points == 0 {
+			jsonError(w, http.StatusInternalServerError, err)
+			return
+		}
+		// Mid-stream failure: the 200 header is already on the wire, so the
+		// best we can do is truncate the body and log it.
+		log.Printf("batserve: query aborted after %d points: %v", points, err)
+		return
+	}
+	if points == 0 {
+		w.Header().Set("Content-Type", "application/octet-stream")
 	}
 }
 

@@ -7,9 +7,11 @@ import (
 	"math"
 	"math/rand"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"libbat"
+	"libbat/internal/obs"
 )
 
 // testServer writes a small dataset and wraps it in a server.
@@ -138,6 +140,58 @@ func TestPointsBadParams(t *testing.T) {
 		s.points(rec, httptest.NewRequest("GET", url, nil))
 		if rec.Code != 400 {
 			t.Errorf("%s: status %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+func TestBadParamsJSONBody(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.points(rec, httptest.NewRequest("GET", "/points?box=a,b,c,d,e,f", nil))
+	if rec.Code != 400 {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if body.Error == "" {
+		t.Error("error body has no message")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	s.col = obs.New()
+	points := s.instrument("/points", s.points)
+	points(httptest.NewRecorder(), httptest.NewRequest("GET", "/points?quality=0.5", nil))
+	points(httptest.NewRecorder(), httptest.NewRequest("GET", "/points?quality=abc", nil))
+
+	rec := httptest.NewRecorder()
+	s.metrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		`http_requests_total{code="200",path="/points"} 1`,
+		`http_requests_total{code="400",path="/points"} 1`,
+		"# TYPE http_request_duration_seconds histogram",
+		`http_request_duration_seconds_count{path="/points"} 2`,
+		"# TYPE query_duration_seconds histogram",
+		"points_streamed_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
 		}
 	}
 }

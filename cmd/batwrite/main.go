@@ -52,6 +52,8 @@ func main() {
 		step      = flag.Int("step", 0, "workload timestep")
 		strategy  = flag.String("strategy", "adaptive", "aggregation: adaptive or aug")
 		base      = flag.String("name", "", "dataset base name (default <workload>-<step>)")
+		statsOut  = flag.String("stats", "", "write telemetry counters/histograms/spans as JSON to this file")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 	)
 	flag.Parse()
 
@@ -82,12 +84,18 @@ func main() {
 		name = fmt.Sprintf("%s-%04d", w.Name(), *step)
 	}
 
+	obsFlags := cliutil.ObsFlags{StatsPath: *statsOut, TracePath: *traceOut}
+	col := obsFlags.Collector()
+
 	start := time.Now()
-	stats, err := bench.WriteDataset(w, *step, store, name, cfg)
+	stats, err := bench.WriteDatasetObserved(w, *step, store, name, cfg, col)
 	if err != nil {
 		fail(err)
 	}
 	elapsed := time.Since(start)
+	if err := obsFlags.Dump(col); err != nil {
+		fail(err)
+	}
 	total := workloads.TotalCount(w, *step)
 	bytes := total * int64(w.Schema().BytesPerParticle())
 	fmt.Printf("wrote %s: %d particles (%.1f MB) from %d ranks in %v (%.1f MB/s)\n",

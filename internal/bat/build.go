@@ -24,6 +24,7 @@ import (
 	"libbat/internal/bitmap"
 	"libbat/internal/geom"
 	"libbat/internal/morton"
+	"libbat/internal/obs"
 	"libbat/internal/particles"
 	"libbat/internal/radix"
 )
@@ -54,6 +55,9 @@ type BuildConfig struct {
 	// work (§VII-A). The quantization error is bounded by the treelet
 	// extent divided by 65536 per axis.
 	QuantizePositions bool
+	// Obs, when set, receives build telemetry (treelet counts, dictionary
+	// size, bitmap dedup hits). Nil disables it.
+	Obs *obs.Collector
 }
 
 // DefaultBuildConfig returns the configuration used in the paper's
@@ -125,6 +129,10 @@ type BuildStats struct {
 	NumShallowNodes int
 	MaxTreeletDepth int
 	DictEntries     int
+	// BitmapsInterned counts every per-node per-attribute bitmap handed to
+	// the dictionary; BitmapsInterned - DictEntries is the number of
+	// deduplication hits (§III-C2's 16-bit-ID dictionary).
+	BitmapsInterned int
 	FileBytes       int64
 	RawDataBytes    int64
 	PaddingBytes    int64
@@ -234,7 +242,22 @@ func Build(set *particles.Set, domain geom.Box, cfg BuildConfig) (*Built, error)
 	shallowNodes := flattenShallow(shallow, treelets, domain, cfg.SubprefixBits, set.Schema.NumAttrs())
 
 	// Step 6: compact everything into the file image.
-	return compact(set, domain, cfg, ranges, shallowNodes, treelets)
+	built, err := compact(set, domain, cfg, ranges, shallowNodes, treelets)
+	if err != nil {
+		return nil, err
+	}
+	if col := cfg.Obs; col != nil {
+		st := built.Stats
+		col.Add("bat_builds_total", 1)
+		col.Add("bat_particles_total", int64(st.NumParticles))
+		col.Add("bat_treelets_built_total", int64(st.NumTreelets))
+		col.Add("bat_treelet_nodes_total", int64(st.NumTreeletNodes))
+		col.Add("bat_dict_entries_total", int64(st.DictEntries))
+		col.Add("bat_bitmaps_interned_total", int64(st.BitmapsInterned))
+		col.Add("bat_bitmap_dedup_hits_total", int64(st.BitmapsInterned-st.DictEntries))
+		col.Add("bat_file_bytes_total", st.FileBytes)
+	}
+	return built, nil
 }
 
 // buildTreelet constructs a median-split k-d treelet over the particles in

@@ -100,6 +100,7 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 
 	nA := set.Schema.NumAttrs()
 	dict := bitmap.NewDictionary()
+	interned := 0
 	intern := func(bms []bitmap.Bitmap) ([]bitmap.ID, error) {
 		ids := make([]bitmap.ID, len(bms))
 		for i, b := range bms {
@@ -109,6 +110,7 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 			}
 			ids[i] = id
 		}
+		interned += len(bms)
 		return ids, nil
 	}
 
@@ -315,6 +317,7 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 		NumShallowNodes: len(shallowNodes),
 		MaxTreeletDepth: maxDepth,
 		DictEntries:     dict.Len(),
+		BitmapsInterned: interned,
 		FileBytes:       int64(len(w.buf)),
 		RawDataBytes:    int64(set.Len()) * int64(set.Schema.BytesPerParticle()),
 		PaddingBytes:    padding,

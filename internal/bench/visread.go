@@ -11,19 +11,37 @@ import (
 	"libbat/internal/fabric"
 	"libbat/internal/geom"
 	"libbat/internal/meta"
+	"libbat/internal/obs"
 	"libbat/internal/pfs"
 	"libbat/internal/workloads"
 )
 
+// Observer, when set before benchmarks run, attaches telemetry to every
+// materialized (full-fidelity) pipeline run: fabrics and stores are
+// instrumented, so batbench's -stats/-trace flags capture the per-phase
+// and per-rank breakdown alongside the tables. Nil (default) disables it.
+var Observer *obs.Collector
+
 // WriteDataset writes one workload timestep through the full two-phase
-// pipeline (real goroutine ranks, real BAT files) into store.
+// pipeline (real goroutine ranks, real BAT files) into store, attaching
+// the package Observer if one is set.
 func WriteDataset(w workloads.Workload, step int, store pfs.Storage, base string,
 	cfg core.WriteConfig) (*core.WriteStats, error) {
+	return WriteDatasetObserved(w, step, store, base, cfg, Observer)
+}
+
+// WriteDatasetObserved is WriteDataset with an explicit telemetry
+// collector (nil disables) wired into the fabric and the store.
+func WriteDatasetObserved(w workloads.Workload, step int, store pfs.Storage, base string,
+	cfg core.WriteConfig, col *obs.Collector) (*core.WriteStats, error) {
 
 	n := w.Decomp().NumRanks()
+	store = pfs.Observe(store, col)
+	f := fabric.New(n)
+	f.SetObserver(col)
 	var mu sync.Mutex
 	var rootStats *core.WriteStats
-	err := fabric.Run(n, func(c *fabric.Comm) error {
+	err := f.Run(func(c *fabric.Comm) error {
 		local := w.Generate(step, c.Rank())
 		st, err := core.Write(c, store, base, local, w.Decomp().RankBounds(c.Rank()), cfg)
 		if err != nil {
@@ -53,6 +71,7 @@ type ProgressiveResult struct {
 // file.
 func ProgressiveRead(store pfs.Storage, base string) (ProgressiveResult, error) {
 	var res ProgressiveResult
+	store = pfs.Observe(store, Observer)
 	m, err := openMetaFile(store, base)
 	if err != nil {
 		return res, err

@@ -1,0 +1,52 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"libbat/internal/obs"
+)
+
+// ObsFlags carries the -stats/-trace output paths shared by the CLIs.
+type ObsFlags struct {
+	StatsPath string
+	TracePath string
+}
+
+// Collector returns a collector when either output is requested, nil
+// otherwise (telemetry disabled).
+func (f ObsFlags) Collector() *obs.Collector {
+	if f.StatsPath == "" && f.TracePath == "" {
+		return nil
+	}
+	return obs.New()
+}
+
+// Dump writes the requested stats/trace files from the collector. It is a
+// no-op when col is nil.
+func (f ObsFlags) Dump(col *obs.Collector) error {
+	if col == nil {
+		return nil
+	}
+	write := func(path string, fn func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(fh); err != nil {
+			fh.Close()
+			return err
+		}
+		return fh.Close()
+	}
+	if err := write(f.StatsPath, func(fh *os.File) error { return col.WriteJSON(fh) }); err != nil {
+		return fmt.Errorf("writing stats: %w", err)
+	}
+	if err := write(f.TracePath, func(fh *os.File) error { return col.WriteChromeTrace(fh) }); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return nil
+}

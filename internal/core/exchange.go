@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"libbat/internal/fabric"
+	"libbat/internal/obs"
 	"libbat/internal/particles"
 )
 
@@ -22,6 +23,9 @@ func Exchange(c *fabric.Comm, schema particles.Schema, outgoing []*particles.Set
 		return nil, fmt.Errorf("core: Exchange needs one destination set per rank (%d != %d)",
 			len(outgoing), c.Size())
 	}
+	col := c.Observer()
+	sp := col.Start(c.Rank(), "exchange")
+	defer sp.End()
 	empty := particles.NewSet(schema, 0)
 	for r, s := range outgoing {
 		if r == c.Rank() {
@@ -39,13 +43,20 @@ func Exchange(c *fabric.Comm, schema particles.Schema, outgoing []*particles.Set
 	if own := outgoing[c.Rank()]; own != nil {
 		mine.AppendSet(own)
 	}
+	var inBytes int64
 	for n := 0; n < c.Size()-1; n++ {
 		raw, st := c.Recv(fabric.AnySource, tagExchange)
+		inBytes += int64(len(raw))
 		part, err := particles.Unmarshal(raw, schema)
 		if err != nil {
 			return nil, fmt.Errorf("core: Exchange payload from rank %d: %w", st.Source, err)
 		}
 		mine.AppendSet(part)
+	}
+	if col != nil {
+		r := obs.Rank(c.Rank())
+		col.Add("core_exchange_recv_bytes_total", inBytes, r)
+		col.Add("core_exchange_recv_particles_total", int64(mine.Len()), r)
 	}
 	return mine, nil
 }

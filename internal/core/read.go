@@ -9,6 +9,7 @@ import (
 	"libbat/internal/fabric"
 	"libbat/internal/geom"
 	"libbat/internal/meta"
+	"libbat/internal/obs"
 	"libbat/internal/particles"
 	"libbat/internal/pfs"
 )
@@ -55,9 +56,15 @@ func Read(c *fabric.Comm, store pfs.Storage, base string, bounds geom.Box) (*par
 func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*particles.Set, *ReadStats, error) {
 	stats := &ReadStats{}
 
+	col := c.Observer()
+	whole := col.Start(c.Rank(), "read")
+	defer whole.End()
+
 	// Phase a: every rank reads the aggregation tree metadata.
 	metaStart := time.Now()
+	metaSp := col.Start(c.Rank(), "read.meta")
 	m, err := readMeta(store, MetaFileName(base))
+	metaSp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -114,12 +121,17 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 			f.Close()
 		}
 	}()
+	served := c.Observer().Counter("core_queries_served_total", obs.Rank(c.Rank()))
+	replyBytes := c.Observer().Counter("core_reply_bytes_total", obs.Rank(c.Rank()))
 	serveOne := func() bool {
 		st, ok := c.Probe(fabric.AnySource, tagQuery)
 		if !ok {
 			return false
 		}
 		raw, _ := c.Recv(st.Source, tagQuery)
+		sp := col.Start(c.Rank(), "read.serve")
+		defer sp.End()
+		served.Inc()
 		var rq queryMsg
 		if err := decode(raw, &rq); err != nil {
 			note(err)
@@ -132,7 +144,9 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 			c.Isend(st.Source, tagReply, replyError(err))
 			return true
 		}
-		c.Isend(st.Source, tagReply, replyData(sub))
+		reply := replyData(sub)
+		replyBytes.Add(int64(len(reply)))
+		c.Isend(st.Source, tagReply, reply)
 		return true
 	}
 	recvOne := func() bool {
@@ -157,7 +171,10 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 	// Answer self-queries once, locally (§IV-B: "if a rank requires data
 	// from itself, it performs these queries locally").
 	for _, li := range selfLeaves {
+		sp := col.Start(c.Rank(), "read.serve")
 		sub, err := queryLeaf(store, m, files, li, q, stats)
+		sp.End()
+		served.Inc()
 		if err != nil {
 			note(err)
 			continue

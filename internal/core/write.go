@@ -10,6 +10,7 @@ import (
 	"libbat/internal/fabric"
 	"libbat/internal/geom"
 	"libbat/internal/meta"
+	"libbat/internal/obs"
 	"libbat/internal/particles"
 	"libbat/internal/pfs"
 )
@@ -142,10 +143,16 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 	schema := local.Schema
 	bpp := schema.BytesPerParticle()
 
+	col := c.Observer()
+	whole := col.Start(c.Rank(), "write")
+	defer whole.End()
+
 	// Phase a: gather counts and bounds on rank 0, build the plan, and
 	// scatter assignments (Figure 1a).
 	start := time.Now()
+	gatherSp := col.Start(c.Rank(), "write.gather")
 	infos := c.Gather(0, encode(infoMsg{Count: int64(local.Len()), Bounds: bounds}))
+	gatherSp.End()
 	var asg assignMsg
 	var tree *aggtree.Tree
 	var leaves []aggtree.Leaf
@@ -160,6 +167,7 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 				ranks[r] = aggtree.RankInfo{Rank: r, Bounds: im.Bounds, Count: im.Count}
 			}
 			treeStart := time.Now()
+			buildSp := col.Start(c.Rank(), "write.tree-build")
 			var err error
 			switch cfg.Strategy {
 			case AUG:
@@ -176,6 +184,7 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 					leaves = tree.Leaves
 				}
 			}
+			buildSp.End()
 			if err != nil {
 				return err
 			}
@@ -206,6 +215,8 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 			for r := range parts {
 				parts[r] = encode(msgs[r])
 			}
+			scatterSp := col.Start(c.Rank(), "write.scatter")
+			defer scatterSp.End()
 			return decode(c.Scatterv(0, parts), &asg)
 		}()
 		if planErr != nil {
@@ -220,7 +231,10 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 			return nil, planErr
 		}
 	} else {
-		if err := decode(c.Scatterv(0, nil), &asg); err != nil {
+		scatterSp := col.Start(c.Rank(), "write.scatter")
+		err := decode(c.Scatterv(0, nil), &asg)
+		scatterSp.End()
+		if err != nil {
 			return nil, err
 		}
 		if asg.Abort != "" {
@@ -256,6 +270,7 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 		// top-level metadata (Figure 1d). Error-marked reports poison the
 		// write but are still collected so the collective completes.
 		metaStart := time.Now()
+		metaSp := col.Start(c.Rank(), "write.metadata")
 		reports := make([]meta.LeafReport, 0, len(leaves))
 		var leafErr error
 		for received := 0; received < len(leaves); received++ {
@@ -281,6 +296,7 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 			leafErr = err
 		}
 		stats.Metadata = time.Since(metaStart)
+		metaSp.End()
 		pm.Metadata = maxDur(pm.Metadata, stats.Metadata)
 		c.Barrier()
 		if bodyErr != nil {
@@ -319,7 +335,11 @@ func writeBody(c *fabric.Comm, store pfs.Storage, base string, local *particles.
 
 	layout := cfg.Layout
 	if layout == nil {
-		layout = batLayout{cfg: cfg.BAT}
+		bcfg := cfg.BAT
+		if bcfg.Obs == nil {
+			bcfg.Obs = c.Observer()
+		}
+		layout = batLayout{cfg: bcfg}
 	}
 
 	// Phase c: aggregate each assigned leaf (Figure 1c). No leaf
@@ -351,10 +371,12 @@ func aggregateLeaf(c *fabric.Comm, store pfs.Storage, base string, local *partic
 	layout Layout, la leafAssign, schema particles.Schema, stats *WriteStats,
 	xferStart *time.Time) (reportMsg, error) {
 
+	col := c.Observer()
 	var total int64
 	for _, n := range la.Counts {
 		total += n
 	}
+	xferSp := col.Start(c.Rank(), "write.exchange")
 	combined := particles.NewSet(schema, int(total))
 	reqs := make([]*fabric.Request, 0, len(la.Senders))
 	for _, s := range la.Senders {
@@ -365,8 +387,10 @@ func aggregateLeaf(c *fabric.Comm, store pfs.Storage, base string, local *partic
 		reqs = append(reqs, c.Irecv(s, tagData))
 	}
 	var recvErr error
+	var aggBytes int64
 	for _, r := range reqs {
 		raw, _ := r.Wait()
+		aggBytes += int64(len(raw))
 		part, err := particles.Unmarshal(raw, schema)
 		if err != nil {
 			recvErr = fmt.Errorf("core: leaf %d: %w", la.Leaf, err)
@@ -374,6 +398,7 @@ func aggregateLeaf(c *fabric.Comm, store pfs.Storage, base string, local *partic
 		}
 		combined.AppendSet(part)
 	}
+	xferSp.End()
 	if recvErr != nil {
 		return reportMsg{}, recvErr
 	}
@@ -382,21 +407,34 @@ func aggregateLeaf(c *fabric.Comm, store pfs.Storage, base string, local *partic
 			la.Leaf, combined.Len(), total)
 	}
 	stats.Transfer += time.Since(*xferStart)
+	if col != nil {
+		r := obs.Rank(c.Rank())
+		col.Add("core_aggregated_bytes_total", aggBytes, r)
+		col.Add("core_aggregated_particles_total", int64(combined.Len()), r)
+	}
 
 	// Build the leaf layout (the BAT by default) and write the file.
 	batStart := time.Now()
+	buildSp := col.Start(c.Rank(), "write.bat-build")
 	built, err := layout.Build(combined, la.Bounds)
+	buildSp.End()
 	if err != nil {
 		return reportMsg{}, fmt.Errorf("core: leaf %d %s build: %w", la.Leaf, layout.Name(), err)
 	}
 	stats.BATBuild += time.Since(batStart)
 
 	writeStart := time.Now()
+	writeSp := col.Start(c.Rank(), "write.file-write")
 	name := LeafFileName(base, la.Leaf)
-	if err := store.WriteFile(name, built.Buf); err != nil {
+	err = store.WriteFile(name, built.Buf)
+	writeSp.End()
+	if err != nil {
 		return reportMsg{}, fmt.Errorf("core: writing %s: %w", name, err)
 	}
 	stats.FileWrite += time.Since(writeStart)
+	if col != nil {
+		col.Add("core_leaves_written_total", 1, obs.Rank(c.Rank()))
+	}
 	*xferStart = time.Now()
 
 	return reportMsg{

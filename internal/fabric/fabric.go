@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"libbat/internal/obs"
 )
 
 // Wildcards accepted by receive operations.
@@ -74,6 +76,11 @@ type Fabric struct {
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
 
+	// col, when set, receives per-rank traffic counters and is handed to
+	// the pipelines through Comm.Observer. Nil (the default) disables
+	// telemetry; hot paths then pay only nil checks.
+	col *obs.Collector
+
 	barrierMu   sync.Mutex
 	barrierCond *sync.Cond
 	barrierGen  uint64
@@ -96,6 +103,14 @@ func New(size int) *Fabric {
 // Size returns the number of ranks.
 func (f *Fabric) Size() int { return f.size }
 
+// SetObserver attaches a telemetry collector to the fabric. It must be
+// called before communicators are created (i.e. before Run or Comm);
+// communicators resolve their counter handles at creation time.
+func (f *Fabric) SetObserver(c *obs.Collector) { f.col = c }
+
+// Observer returns the attached collector (nil when telemetry is off).
+func (f *Fabric) Observer() *obs.Collector { return f.col }
+
 // BytesSent returns the total bytes moved through the fabric so far.
 func (f *Fabric) BytesSent() int64 { return f.bytesSent.Load() }
 
@@ -107,6 +122,11 @@ func (f *Fabric) MessagesSent() int64 { return f.msgsSent.Load() }
 type Comm struct {
 	f    *Fabric
 	rank int
+
+	// Telemetry handles, resolved once at Comm creation; all nil (no-op)
+	// when the fabric has no collector attached.
+	sentBytes, sentMsgs *obs.Counter
+	recvBytes, recvMsgs *obs.Counter
 }
 
 // Comm returns the communicator handle for the given rank.
@@ -114,7 +134,35 @@ func (f *Fabric) Comm(rank int) *Comm {
 	if rank < 0 || rank >= f.size {
 		panic(fmt.Sprintf("fabric: rank %d out of range [0,%d)", rank, f.size))
 	}
-	return &Comm{f: f, rank: rank}
+	c := &Comm{f: f, rank: rank}
+	if f.col != nil {
+		r := obs.Rank(rank)
+		c.sentBytes = f.col.Counter("fabric_sent_bytes_total", r)
+		c.sentMsgs = f.col.Counter("fabric_sent_msgs_total", r)
+		c.recvBytes = f.col.Counter("fabric_recv_bytes_total", r)
+		c.recvMsgs = f.col.Counter("fabric_recv_msgs_total", r)
+	}
+	return c
+}
+
+// Observer returns the fabric's telemetry collector (nil when disabled),
+// letting collective pipelines record spans on this rank's timeline.
+func (c *Comm) Observer() *obs.Collector { return c.f.col }
+
+// noteRecv counts one completed receive.
+func (c *Comm) noteRecv(n int) {
+	c.recvBytes.Add(int64(n))
+	c.recvMsgs.Add(1)
+}
+
+// noteCollective counts this rank's participation in one collective
+// operation. Collectives are rare relative to point-to-point traffic, so
+// the label-resolving cold path is fine here.
+func (c *Comm) noteCollective(op string) {
+	if c.f.col == nil {
+		return
+	}
+	c.f.col.Add("fabric_collectives_total", 1, obs.Rank(c.rank), obs.L("op", op))
 }
 
 // Rank returns this communicator's rank.
@@ -132,6 +180,8 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	}
 	c.f.bytesSent.Add(int64(len(data)))
 	c.f.msgsSent.Add(1)
+	c.sentBytes.Add(int64(len(data)))
+	c.sentMsgs.Add(1)
 	c.f.inboxes[dst].deposit(message{src: c.rank, tag: tag, data: data})
 }
 
@@ -149,6 +199,7 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 	defer ib.mu.Unlock()
 	for {
 		if m, ok := ib.match(src, tag); ok {
+			c.noteRecv(len(m.data))
 			return m.data, Status{Source: m.src, Tag: m.tag}
 		}
 		ib.cond.Wait()
@@ -201,6 +252,7 @@ func (r *Request) Test() bool {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	if m, ok := ib.match(r.src, r.tag); ok {
+		r.c.noteRecv(len(m.data))
 		r.data, r.status = m.data, Status{Source: m.src, Tag: m.tag}
 		r.done = true
 	}
@@ -227,6 +279,7 @@ func WaitAll(reqs []*Request) {
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
+	c.noteCollective("barrier")
 	f := c.f
 	f.barrierMu.Lock()
 	gen := f.barrierGen
@@ -255,6 +308,7 @@ type BarrierRequest struct {
 // exactly once per barrier epoch; concurrent distinct Ibarrier epochs are
 // not supported (matching the pipeline's single outstanding barrier).
 func (c *Comm) Ibarrier() *BarrierRequest {
+	c.noteCollective("ibarrier")
 	f := c.f
 	f.barrierMu.Lock()
 	gen := f.barrierGen
@@ -297,6 +351,7 @@ const (
 // entry per rank (the root's own contribution included, at its rank index);
 // on other ranks it returns nil.
 func (c *Comm) Gather(root int, data []byte) [][]byte {
+	c.noteCollective("gather")
 	if c.rank != root {
 		c.Send(root, tagGather, data)
 		return nil
@@ -313,6 +368,7 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 // Scatterv distributes parts[i] from root to rank i and returns this rank's
 // part. On root, parts must have Size entries; on other ranks it is ignored.
 func (c *Comm) Scatterv(root int, parts [][]byte) []byte {
+	c.noteCollective("scatterv")
 	if c.rank == root {
 		if len(parts) != c.f.size {
 			panic("fabric: Scatterv needs one part per rank")
@@ -330,6 +386,7 @@ func (c *Comm) Scatterv(root int, parts [][]byte) []byte {
 
 // Bcast broadcasts data from root to every rank and returns the payload.
 func (c *Comm) Bcast(root int, data []byte) []byte {
+	c.noteCollective("bcast")
 	if c.rank == root {
 		for i := 0; i < c.f.size; i++ {
 			if i != root {

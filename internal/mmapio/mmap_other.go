@@ -24,6 +24,7 @@ func Open(path string) (*Mapping, error) {
 	if err != nil {
 		return nil, err
 	}
+	noteOpen(int64(len(data)))
 	return &Mapping{data: data}, nil
 }
 
@@ -39,6 +40,7 @@ func (m *Mapping) ReadAt(p []byte, off int64) (int, error) {
 		return 0, io.EOF
 	}
 	n := copy(p, m.data[off:])
+	noteRead(n)
 	if n < len(p) {
 		return n, io.EOF
 	}

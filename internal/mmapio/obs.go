@@ -1,0 +1,33 @@
+package mmapio
+
+import (
+	"sync/atomic"
+
+	"libbat/internal/obs"
+)
+
+// collector is the package's optional telemetry sink. Mappings are opened
+// by whichever goroutine holds a BAT file, so the hook is a single atomic
+// pointer rather than per-mapping plumbing.
+var collector atomic.Pointer[obs.Collector]
+
+// SetCollector attaches (or, with nil, detaches) a telemetry collector.
+// Subsequently opened mappings count opens, mapped bytes, and ReadAt
+// calls/bytes on it.
+func SetCollector(c *obs.Collector) { collector.Store(c) }
+
+// noteOpen counts one mapping of size bytes.
+func noteOpen(size int64) {
+	if c := collector.Load(); c != nil {
+		c.Add("mmap_open_calls_total", 1)
+		c.Add("mmap_mapped_bytes_total", size)
+	}
+}
+
+// noteRead counts one ReadAt of n bytes.
+func noteRead(n int) {
+	if c := collector.Load(); c != nil {
+		c.Add("mmap_read_calls_total", 1)
+		c.Add("mmap_read_bytes_total", int64(n))
+	}
+}

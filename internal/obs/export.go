@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CounterSnapshot is one counter series at export time.
+type CounterSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// HistogramSnapshot is one histogram series at export time. Buckets are
+// non-cumulative per-bound counts; the last entry counts observations above
+// every bound (+Inf).
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Bounds  []float64         `json:"bounds"`
+	Buckets []int64           `json:"buckets"`
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+}
+
+// SpanSummary aggregates the completed spans of one (name, rank) pair.
+type SpanSummary struct {
+	Name    string        `json:"name"`
+	Rank    int           `json:"rank"`
+	Count   int64         `json:"count"`
+	TotalNs time.Duration `json:"total_ns"`
+	MinNs   time.Duration `json:"min_ns"`
+	MaxNs   time.Duration `json:"max_ns"`
+}
+
+// Snapshot is a consistent, export-ready copy of a collector's state, with
+// every slice sorted for deterministic output.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+	Spans      []SpanSummary       `json:"spans"`
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot captures the collector's current state. Nil collectors yield an
+// empty snapshot.
+func (c *Collector) Snapshot() Snapshot {
+	var s Snapshot
+	if c == nil {
+		return s
+	}
+	c.mu.Lock()
+	for _, ctr := range c.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{
+			Name:   ctr.name,
+			Labels: labelMap(ctr.labels),
+			Value:  ctr.v.Load(),
+		})
+	}
+	for _, h := range c.hists {
+		h.mu.Lock()
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name:    h.name,
+			Labels:  labelMap(h.labels),
+			Bounds:  append([]float64(nil), h.bounds...),
+			Buckets: append([]int64(nil), h.buckets...),
+			Count:   h.count,
+			Sum:     h.sum,
+			Min:     h.min,
+			Max:     h.max,
+		})
+		h.mu.Unlock()
+	}
+	c.mu.Unlock()
+
+	type spanKey struct {
+		name string
+		rank int
+	}
+	agg := map[spanKey]*SpanSummary{}
+	for _, ev := range c.Spans() {
+		k := spanKey{ev.Name, ev.Rank}
+		sum, ok := agg[k]
+		if !ok {
+			sum = &SpanSummary{Name: ev.Name, Rank: ev.Rank, MinNs: ev.Dur, MaxNs: ev.Dur}
+			agg[k] = sum
+		}
+		sum.Count++
+		sum.TotalNs += ev.Dur
+		if ev.Dur < sum.MinNs {
+			sum.MinNs = ev.Dur
+		}
+		if ev.Dur > sum.MaxNs {
+			sum.MaxNs = ev.Dur
+		}
+	}
+	for _, sum := range agg {
+		s.Spans = append(s.Spans, *sum)
+	}
+
+	sortSeries := func(ni, nj string, li, lj map[string]string) bool {
+		if ni != nj {
+			return ni < nj
+		}
+		return fmt.Sprint(li) < fmt.Sprint(lj)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return sortSeries(s.Counters[i].Name, s.Counters[j].Name, s.Counters[i].Labels, s.Counters[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return sortSeries(s.Histograms[i].Name, s.Histograms[j].Name, s.Histograms[i].Labels, s.Histograms[j].Labels)
+	})
+	sort.Slice(s.Spans, func(i, j int) bool {
+		if s.Spans[i].Name != s.Spans[j].Name {
+			return s.Spans[i].Name < s.Spans[j].Name
+		}
+		return s.Spans[i].Rank < s.Spans[j].Rank
+	})
+	return s
+}
+
+// WriteJSON dumps the full snapshot as indented JSON — the batwrite/batread
+// -stats output.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Snapshot())
+}
+
+// promLabels renders a label set (plus an optional extra pair) in
+// Prometheus text form, keys sorted.
+func promLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels)+1)
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	if extraKey != "" {
+		keys = append(keys, extraKey)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		v := labels[k]
+		if k == extraKey {
+			v = extraVal
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return promNum(v)
+}
+
+// promNum renders a float compactly and round-trippably (%g).
+func promNum(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as-is, histograms with cumulative
+// le-labeled buckets plus _sum/_count, and span summaries as the derived
+// <span>_seconds_total / <span>_count counters.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	s := c.Snapshot()
+	var sb strings.Builder
+
+	lastType := ""
+	emitHeader := func(name, typ string) {
+		if name == lastType {
+			return
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, typ)
+		lastType = name
+	}
+
+	for _, ctr := range s.Counters {
+		emitHeader(ctr.Name, "counter")
+		fmt.Fprintf(&sb, "%s%s %d\n", ctr.Name, promLabels(ctr.Labels, "", ""), ctr.Value)
+	}
+	for _, h := range s.Histograms {
+		emitHeader(h.Name, "histogram")
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&sb, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", promFloat(b)), cum)
+		}
+		cum += h.Buckets[len(h.Bounds)]
+		fmt.Fprintf(&sb, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", "+Inf"), cum)
+		fmt.Fprintf(&sb, "%s_sum%s %s\n", h.Name, promLabels(h.Labels, "", ""), promNum(h.Sum))
+		fmt.Fprintf(&sb, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", ""), h.Count)
+	}
+	for _, sp := range s.Spans {
+		name := "span_" + sanitizeMetricName(sp.Name)
+		labels := map[string]string{"rank": fmt.Sprint(sp.Rank)}
+		emitHeader(name+"_seconds_total", "counter")
+		fmt.Fprintf(&sb, "%s_seconds_total%s %s\n", name, promLabels(labels, "", ""),
+			promNum(sp.TotalNs.Seconds()))
+		emitHeader(name+"_count", "counter")
+		fmt.Fprintf(&sb, "%s_count%s %d\n", name, promLabels(labels, "", ""), sp.Count)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// sanitizeMetricName maps span names (which may contain '.' or '-') onto
+// the Prometheus metric name alphabet.
+func sanitizeMetricName(s string) string {
+	out := []byte(s)
+	for i, b := range out {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_':
+		case b >= '0' && b <= '9' && i > 0:
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// traceEvent is one Chrome trace_event entry ("X" = complete event).
+// Timestamps and durations are microseconds.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// chromeTrace is the JSON object form of the trace file, which Perfetto and
+// chrome://tracing both accept.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace dumps every completed span as a Chrome trace_event
+// complete event: pid 0, tid = rank, so the trace renders as one timeline
+// lane per rank.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	spans := c.Spans()
+	tr := chromeTrace{TraceEvents: make([]traceEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, ev := range spans {
+		tr.TraceEvents = append(tr.TraceEvents, traceEvent{
+			Name: ev.Name,
+			Cat:  "phase",
+			Ph:   "X",
+			Ts:   float64(ev.Start) / float64(time.Microsecond),
+			Dur:  float64(ev.Dur) / float64(time.Microsecond),
+			Pid:  0,
+			Tid:  ev.Rank,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenCollector builds a collector with fully deterministic content (no
+// spans: span values are wall-clock dependent).
+func goldenCollector() *Collector {
+	c := New()
+	c.Counter("requests_total", L("path", "/points"), L("code", "200")).Add(3)
+	c.Counter("requests_total", L("path", "/info"), L("code", "200")).Add(1)
+	c.Counter("bytes_total").Add(4096)
+	h := c.Histogram("latency_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+	return c
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenCollector().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/prometheus.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("Prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+func TestPrometheusSpanExport(t *testing.T) {
+	c := New()
+	for i := 0; i < 3; i++ {
+		sp := c.Start(2, "write.tree-build")
+		time.Sleep(time.Microsecond)
+		sp.End()
+	}
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Span names are sanitized onto the metric alphabet and labeled by rank.
+	if !strings.Contains(out, `span_write_tree_build_count{rank="2"} 3`) {
+		t.Errorf("missing span count series:\n%s", out)
+	}
+	if !strings.Contains(out, `span_write_tree_build_seconds_total{rank="2"} `) {
+		t.Errorf("missing span seconds series:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE span_write_tree_build_count counter") {
+		t.Errorf("missing TYPE header for span series:\n%s", out)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	c := New()
+	ranks := []int{0, 1, 3}
+	for _, r := range ranks {
+		sp := c.Start(r, "phase-a")
+		time.Sleep(time.Microsecond)
+		sp.End()
+	}
+	nested := c.Start(1, "outer")
+	inner := c.Start(1, "inner")
+	inner.End()
+	nested.End()
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+	if len(tr.TraceEvents) != len(ranks)+2 {
+		t.Fatalf("got %d events, want %d", len(tr.TraceEvents), len(ranks)+2)
+	}
+	byName := map[string][]int{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" || ev.Pid != 0 {
+			t.Errorf("event %q: ph=%q pid=%d, want complete event on pid 0", ev.Name, ev.Ph, ev.Pid)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("event %q: negative ts/dur (%g, %g)", ev.Name, ev.Ts, ev.Dur)
+		}
+		byName[ev.Name] = append(byName[ev.Name], ev.Tid)
+	}
+	if got := byName["phase-a"]; len(got) != len(ranks) {
+		t.Errorf("phase-a on tids %v, want one per rank %v", got, ranks)
+	}
+	// Nested spans on the same rank both survive, on that rank's lane.
+	for _, name := range []string{"outer", "inner"} {
+		if got := byName[name]; len(got) != 1 || got[0] != 1 {
+			t.Errorf("%s on tids %v, want [1]", name, got)
+		}
+	}
+}
+
+func TestJSONSnapshotRoundTrip(t *testing.T) {
+	c := goldenCollector()
+	sp := c.Start(0, "whole")
+	sp.End()
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("stats JSON does not parse: %v", err)
+	}
+	if len(snap.Counters) != 3 || len(snap.Histograms) != 1 || len(snap.Spans) != 1 {
+		t.Errorf("snapshot sizes: %d counters, %d histograms, %d spans",
+			len(snap.Counters), len(snap.Histograms), len(snap.Spans))
+	}
+	if snap.Spans[0].Name != "whole" || snap.Spans[0].Count != 1 {
+		t.Errorf("span summary = %+v", snap.Spans[0])
+	}
+}
+
+// TestNilCollectorSafe pins the disabled-telemetry contract: every method on
+// a nil collector (and the handles it returns) must be a no-op.
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	c.Counter("x").Add(1)
+	c.Counter("x").Inc()
+	c.Histogram("h", nil).Observe(1)
+	c.Add("x", 1)
+	c.Observe("h", 1)
+	sp := c.Start(0, "s")
+	sp.End()
+	if s := c.Snapshot(); len(s.Counters)+len(s.Histograms)+len(s.Spans) != 0 {
+		t.Errorf("nil collector snapshot not empty: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"libbat/internal/obs"
 )
 
 // File is an open file handle supporting random-access reads.
@@ -201,6 +203,58 @@ func (m *Mem) Stats() Stats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.stats
+}
+
+// Observe wraps a Storage so every write, open, and read is counted on the
+// collector: per-file call/byte counters plus a write-size histogram. With
+// a nil collector the storage is returned unwrapped (zero overhead).
+func Observe(s Storage, c *obs.Collector) Storage {
+	if c == nil {
+		return s
+	}
+	return &observed{Storage: s, col: c}
+}
+
+type observed struct {
+	Storage
+	col *obs.Collector
+}
+
+func (o *observed) WriteFile(name string, data []byte) error {
+	err := o.Storage.WriteFile(name, data)
+	if err == nil {
+		f := obs.L("file", name)
+		o.col.Add("pfs_write_calls_total", 1, f)
+		o.col.Add("pfs_write_bytes_total", int64(len(data)), f)
+		o.col.Histogram("pfs_write_size_bytes", obs.DefSizeBuckets()).Observe(float64(len(data)))
+	}
+	return err
+}
+
+func (o *observed) Open(name string) (File, error) {
+	f, err := o.Storage.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	lab := obs.L("file", name)
+	o.col.Add("pfs_open_calls_total", 1, lab)
+	return &observedFile{
+		File:  f,
+		calls: o.col.Counter("pfs_read_calls_total", lab),
+		bytes: o.col.Counter("pfs_read_bytes_total", lab),
+	}, nil
+}
+
+type observedFile struct {
+	File
+	calls, bytes *obs.Counter
+}
+
+func (f *observedFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.File.ReadAt(p, off)
+	f.calls.Add(1)
+	f.bytes.Add(int64(n))
+	return n, err
 }
 
 // Faulty wraps a Storage and fails operations on selected file names —

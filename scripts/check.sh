@@ -1,0 +1,15 @@
+#!/bin/sh
+# Pre-PR check: vet the whole module and run the concurrency-sensitive
+# packages (the simulated MPI fabric and the collective pipelines) under the
+# race detector. Run it from the repository root before sending a PR.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./internal/fabric/... ./internal/core/..."
+go test -race ./internal/fabric/... ./internal/core/...
+
+echo "check.sh: OK"
