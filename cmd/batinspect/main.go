@@ -5,6 +5,10 @@
 //
 //	batinspect -in /tmp/ds -name coal-boiler-0050
 //	batinspect -in /tmp/ds -name coal-boiler-0050 -leaf 0
+//
+// With -verify it instead walks every file of the dataset checking the
+// stored checksums (metadata trailer, BAT header and per-treelet CRCs) and
+// exits non-zero if anything is damaged or missing.
 package main
 
 import (
@@ -21,10 +25,11 @@ import (
 
 func main() {
 	var (
-		in   = flag.String("in", "bat-out", "dataset directory")
-		name = flag.String("name", "", "dataset base name (required)")
-		leaf = flag.Int("leaf", -1, "inspect one leaf BAT file")
-		tree = flag.Bool("tree", false, "print the aggregation tree hierarchy")
+		in     = flag.String("in", "bat-out", "dataset directory")
+		name   = flag.String("name", "", "dataset base name (required)")
+		leaf   = flag.Int("leaf", -1, "inspect one leaf BAT file")
+		tree   = flag.Bool("tree", false, "print the aggregation tree hierarchy")
+		verify = flag.Bool("verify", false, "verify all checksums in the dataset; exit non-zero on corruption")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -47,6 +52,12 @@ func main() {
 		fail(err)
 	}
 	mf.Close()
+	if *verify {
+		if !verifyDataset(os.Stdout, store, *name, buf) {
+			os.Exit(1)
+		}
+		return
+	}
 	m, err := meta.Decode(buf)
 	if err != nil {
 		fail(err)
@@ -77,6 +88,54 @@ func main() {
 	for i, l := range m.Leaves {
 		fmt.Printf("    %3d %-28s %9d particles  %v\n", i, l.FileName, l.Count, l.Bounds)
 	}
+}
+
+// verifyDataset checks every checksum in the dataset: the metadata trailer
+// first (nothing else can be trusted without it), then each leaf file's
+// header CRC, per-treelet CRCs, and particle count against the metadata.
+// It prints one line per file and reports whether everything passed.
+// Version-1 files carry no checksums; they are listed as unverifiable but
+// do not fail the run.
+func verifyDataset(w io.Writer, store pfs.Storage, name string, metaBuf []byte) bool {
+	m, err := meta.Decode(metaBuf)
+	if err != nil {
+		fmt.Fprintf(w, "FAIL  %-28s %v\n", core.MetaFileName(name), err)
+		return false
+	}
+	fmt.Fprintf(w, "ok    %-28s metadata, %d leaves\n", core.MetaFileName(name), len(m.Leaves))
+	ok := true
+	bad := func(file string, err error) {
+		fmt.Fprintf(w, "FAIL  %-28s %v\n", file, err)
+		ok = false
+	}
+	for _, lm := range m.Leaves {
+		fh, err := store.Open(lm.FileName)
+		if err != nil {
+			bad(lm.FileName, err)
+			continue
+		}
+		f, err := bat.Decode(fh, fh.Size())
+		if err != nil {
+			bad(lm.FileName, err)
+			fh.Close()
+			continue
+		}
+		if !f.Checksummed() {
+			fmt.Fprintf(w, "skip  %-28s version %d file has no checksums\n", lm.FileName, f.Version)
+			fh.Close()
+			continue
+		}
+		if err := f.Verify(); err != nil {
+			bad(lm.FileName, err)
+		} else if int64(f.NumParticles) != lm.Count {
+			bad(lm.FileName, fmt.Errorf("holds %d particles, metadata says %d", f.NumParticles, lm.Count))
+		} else {
+			fmt.Fprintf(w, "ok    %-28s %d treelets, %d particles\n",
+				lm.FileName, f.NumTreelets(), f.NumParticles)
+		}
+		fh.Close()
+	}
+	return ok
 }
 
 // printTree renders the aggregation tree hierarchy: inner split planes and

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"libbat"
+	"libbat/internal/core"
+	"libbat/internal/pfs"
+)
+
+// writeDataset produces a small on-disk dataset and returns its store.
+func writeDataset(t *testing.T) pfs.Storage {
+	t.Helper()
+	store, err := libbat.DirStorage(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = libbat.Run(4, func(c *libbat.Comm) error {
+		r := rand.New(rand.NewSource(int64(c.Rank())))
+		lo := libbat.V3(float64(c.Rank()), 0, 0)
+		local := libbat.NewParticleSet(libbat.NewSchema("v"), 500)
+		for i := 0; i < 500; i++ {
+			p := lo.Add(libbat.V3(r.Float64(), r.Float64(), r.Float64()))
+			local.Append(p, []float64{p.Y})
+		}
+		_, err := libbat.Write(c, store, "ds", local,
+			libbat.NewBox(lo, lo.Add(libbat.V3(1, 1, 1))), libbat.DefaultWriteConfig(8<<10))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func slurp(t *testing.T, store pfs.Storage, name string) []byte {
+	t.Helper()
+	f, err := store.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestVerifyCleanDataset(t *testing.T) {
+	store := writeDataset(t)
+	var out bytes.Buffer
+	if !verifyDataset(&out, store, "ds", slurp(t, store, core.MetaFileName("ds"))) {
+		t.Fatalf("clean dataset failed verification:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "FAIL") {
+		t.Errorf("clean dataset printed a failure:\n%s", out.String())
+	}
+}
+
+func TestVerifyDamagedLeaf(t *testing.T) {
+	store := writeDataset(t)
+	leafName := core.LeafFileName("ds", 0)
+	buf := slurp(t, store, leafName)
+	buf[len(buf)/2] ^= 0x01
+	if err := store.WriteFile(leafName, buf); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if verifyDataset(&out, store, "ds", slurp(t, store, core.MetaFileName("ds"))) {
+		t.Fatalf("damaged leaf passed verification:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), leafName) {
+		t.Errorf("failure does not name the damaged file:\n%s", out.String())
+	}
+}
+
+func TestVerifyDamagedMetadata(t *testing.T) {
+	store := writeDataset(t)
+	buf := slurp(t, store, core.MetaFileName("ds"))
+	buf[len(buf)/2] ^= 0x01
+	var out bytes.Buffer
+	if verifyDataset(&out, store, "ds", buf) {
+		t.Fatal("damaged metadata passed verification")
+	}
+}
+
+func TestVerifyMissingLeaf(t *testing.T) {
+	store := writeDataset(t)
+	if err := store.Remove(core.LeafFileName("ds", 0)); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if verifyDataset(&out, store, "ds", slurp(t, store, core.MetaFileName("ds"))) {
+		t.Fatal("dataset with a missing leaf passed verification")
+	}
+}

@@ -13,17 +13,21 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"net/http"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"libbat"
@@ -124,11 +128,47 @@ func seriesOf(store libbat.Storage, prefix string) ([]string, error) {
 	return names, nil
 }
 
+// routes builds the server's request mux.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.instrument("/", s.page))
+	mux.HandleFunc("/info", s.instrument("/info", s.info))
+	mux.HandleFunc("/points", s.instrument("/points", s.points))
+	mux.HandleFunc("/metrics", s.metrics)
+	return mux
+}
+
+// newHTTPServer wraps the mux in an http.Server with request timeouts: a
+// slow or stalled client cannot pin a connection open forever. The write
+// timeout must cover a full progressive /points stream, so it is much
+// longer than the header/idle limits.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// closeDatasets releases every cached dataset handle.
+func (s *server) closeDatasets() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ds := range s.open {
+		ds.Close()
+	}
+	s.open = map[int]*libbat.Dataset{}
+}
+
 func main() {
 	var (
-		in   = flag.String("in", "bat-out", "dataset directory")
-		name = flag.String("name", "", "dataset base name, or a prefix matching a time series (required)")
-		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+		in    = flag.String("in", "bat-out", "dataset directory")
+		name  = flag.String("name", "", "dataset base name, or a prefix matching a time series (required)")
+		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
+		drain = flag.Duration("drain", 10*time.Second, "how long to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -147,13 +187,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	http.HandleFunc("/", s.instrument("/", s.page))
-	http.HandleFunc("/info", s.instrument("/info", s.info))
-	http.HandleFunc("/points", s.instrument("/points", s.points))
-	http.HandleFunc("/metrics", s.metrics)
+	srv := newHTTPServer(*addr, s.routes())
 	log.Printf("batserve: %d timesteps (first: %d particles in %d files); listening on http://%s",
 		len(names), ds.NumParticles(), ds.NumFiles(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, nil))
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and close
+	// the dataset handles before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal("batserve: ", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("batserve: shutting down (draining for up to %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("batserve: shutdown: %v", err)
+	}
+	s.closeDatasets()
+	log.Printf("batserve: stopped")
 }
 
 // stepParam parses the ?step=N parameter (default 0).

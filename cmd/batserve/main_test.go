@@ -1,14 +1,18 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"io"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"libbat"
 	"libbat/internal/obs"
@@ -259,5 +263,67 @@ func TestTimeSeriesServing(t *testing.T) {
 	// Missing prefix errors.
 	if _, err := seriesOf(store, "nope"); err == nil {
 		t.Error("missing prefix should error")
+	}
+}
+
+// TestGracefulShutdown starts the real http.Server on an ephemeral port,
+// confirms it serves, then shuts it down: Serve must return
+// http.ErrServerClosed, in-flight-free shutdown must complete well inside
+// the drain window, and the cached dataset handles must be released.
+func TestGracefulShutdown(t *testing.T) {
+	s, _ := testServer(t)
+	s.col = obs.New()
+	srv := newHTTPServer("127.0.0.1:0", s.routes())
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/info status %d", resp.StatusCode)
+	}
+	if len(s.open) == 0 {
+		t.Fatal("expected a cached dataset after serving /info")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err != http.ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	s.closeDatasets()
+	if len(s.open) != 0 {
+		t.Errorf("%d datasets still cached after closeDatasets", len(s.open))
+	}
+	if _, err := http.Get("http://" + ln.Addr().String() + "/info"); err == nil {
+		t.Error("request succeeded after shutdown")
+	}
+}
+
+// TestServerTimeoutsConfigured pins the request-timeout policy: header and
+// read limits short, the write limit long enough for a progressive stream.
+func TestServerTimeoutsConfigured(t *testing.T) {
+	srv := newHTTPServer(":0", nil)
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Error("header/read/idle timeouts must be set")
+	}
+	if srv.WriteTimeout < time.Minute {
+		t.Errorf("WriteTimeout %v too short to stream a full quality sweep", srv.WriteTimeout)
 	}
 }

@@ -1,0 +1,209 @@
+package bat
+
+import (
+	"encoding/binary"
+	"errors"
+	"libbat/internal/geom"
+	"testing"
+)
+
+// builtSample returns a deterministic multi-treelet file image.
+func builtSample(t *testing.T) []byte {
+	t.Helper()
+	s, domain := randomSet(600, 2)
+	b, err := Build(s, domain, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Buf
+}
+
+// collect runs a full unfiltered query and returns the visited particles
+// as a flat float slice (positions then attributes, traversal order).
+func collect(t *testing.T, f *File) []float64 {
+	t.Helper()
+	var out []float64
+	err := f.Query(Query{}, func(p geom.Vec3, attrs []float64) error {
+		out = append(out, p.X, p.Y, p.Z)
+		out = append(out, attrs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDecodeTruncatedNeverPanics: every proper prefix of a v2 file must
+// fail to open (the footer is gone or mangled), never panic.
+func TestDecodeTruncatedNeverPanics(t *testing.T) {
+	buf := builtSample(t)
+	for l := 0; l < len(buf); l += 7 {
+		if _, err := FromBuffer(buf[:l]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes opened", l, len(buf))
+		}
+	}
+	if _, err := FromBuffer(buf[:len(buf)-1]); err == nil {
+		t.Error("file short by one byte opened")
+	}
+}
+
+// TestBitFlipNoSilentCorruption flips single bits across the file and
+// requires each one to be caught at open, by Verify, or at query time —
+// or, if it landed in inter-section padding, to leave the query results
+// bit-identical to the original. A silently different result is the one
+// outcome the checksums exist to prevent.
+func TestBitFlipNoSilentCorruption(t *testing.T) {
+	buf := builtSample(t)
+	orig, err := FromBuffer(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collect(t, orig)
+
+	detected := 0
+	offsets := []int{0, 4, 8, len(buf) / 2, len(buf) - 1, len(buf) - 6}
+	for off := 13; off < len(buf); off += 97 {
+		offsets = append(offsets, off)
+	}
+	for _, off := range offsets {
+		mut := append([]byte(nil), buf...)
+		mut[off] ^= 1 << (off % 8)
+		f, err := FromBuffer(mut)
+		if err != nil {
+			detected++
+			continue
+		}
+		if err := f.Verify(); err != nil {
+			detected++
+			continue
+		}
+		var got []float64
+		qerr := f.Query(Query{}, func(p geom.Vec3, attrs []float64) error {
+			got = append(got, p.X, p.Y, p.Z)
+			got = append(got, attrs...)
+			return nil
+		})
+		if qerr != nil {
+			detected++
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("flip at %d silently changed result count: %d vs %d", off, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("flip at %d silently changed value %d", off, i)
+			}
+		}
+	}
+	if detected == 0 {
+		t.Error("no flip was detected at all")
+	}
+}
+
+// TestHeaderFlipIsChecksumError: damage inside the checksummed header must
+// surface as ErrChecksum at open time.
+func TestHeaderFlipIsChecksumError(t *testing.T) {
+	buf := builtSample(t)
+	mut := append([]byte(nil), buf...)
+	mut[9] ^= 0x40 // inside the flags field, past magic+version
+	if _, err := FromBuffer(mut); !errors.Is(err, ErrChecksum) {
+		t.Errorf("header flip: want ErrChecksum, got %v", err)
+	}
+}
+
+// stripToV1 converts a v2 image into its version-1 equivalent: footer
+// removed, version field patched.
+func stripToV1(t *testing.T, buf []byte) []byte {
+	t.Helper()
+	footerLen := binary.LittleEndian.Uint32(buf[len(buf)-8:])
+	if int(footerLen) >= len(buf) {
+		t.Fatalf("implausible footer length %d", footerLen)
+	}
+	v1 := append([]byte(nil), buf[:len(buf)-int(footerLen)]...)
+	binary.LittleEndian.PutUint32(v1[4:], 1)
+	return v1
+}
+
+// TestV1FileStillReads: pre-checksum files must parse and query as
+// before; they report as un-checksummed and Verify is a no-op.
+func TestV1FileStillReads(t *testing.T) {
+	buf := builtSample(t)
+	v2, err := FromBuffer(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collect(t, v2)
+
+	v1buf := stripToV1(t, buf)
+	v1, err := FromBuffer(v1buf)
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if v1.Version != 1 || v1.Checksummed() {
+		t.Errorf("Version=%d Checksummed=%v, want 1/false", v1.Version, v1.Checksummed())
+	}
+	if err := v1.Verify(); err != nil {
+		t.Errorf("Verify on v1: %v", err)
+	}
+	got := collect(t, v1)
+	if len(got) != len(want) {
+		t.Fatalf("v1 query returned %d values, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("v1 query differs at value %d", i)
+		}
+	}
+	if !v2.Checksummed() || v2.Version != 2 {
+		t.Errorf("v2 file reports Version=%d Checksummed=%v", v2.Version, v2.Checksummed())
+	}
+}
+
+func TestZeroAndTinyInputs(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, []byte("B"), []byte("BAT1"), []byte("BAT1\x02\x00\x00\x00")} {
+		if _, err := FromBuffer(data); err == nil {
+			t.Errorf("%d-byte input opened", len(data))
+		}
+	}
+}
+
+var errStopFuzz = errors.New("fuzz visit cap")
+
+// FuzzDecode feeds arbitrary bytes to the reader: errors are fine,
+// panics are not. Inputs that open are also verified and queried.
+func FuzzDecode(f *testing.F) {
+	s, domain := randomSet(60, 1)
+	if b, err := Build(s, domain, DefaultBuildConfig()); err == nil {
+		f.Add(b.Buf)
+		if len(b.Buf) > 16 {
+			f.Add(b.Buf[:len(b.Buf)/2])
+			footerLen := binary.LittleEndian.Uint32(b.Buf[len(b.Buf)-8:])
+			if int(footerLen) < len(b.Buf) {
+				v1 := append([]byte(nil), b.Buf[:len(b.Buf)-int(footerLen)]...)
+				binary.LittleEndian.PutUint32(v1[4:], 1)
+				f.Add(v1) // reaches the unchecksummed parse path
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("BAT1\x01\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := FromBuffer(data)
+		if err != nil {
+			return
+		}
+		file.Verify()
+		// Cap the visit count: garbage that passes the structural checks
+		// may still describe a large (bounded) point soup, and unbounded
+		// iteration would drown the fuzzer without exercising new paths.
+		visits := 0
+		file.Query(Query{}, func(p geom.Vec3, attrs []float64) error {
+			if visits++; visits > 10000 {
+				return errStopFuzz
+			}
+			return nil
+		})
+	})
+}

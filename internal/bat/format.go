@@ -25,6 +25,18 @@
 //	                 to the treelet bounds when flagQuantized is set),
 //	                 then one array per attribute (f64 or f32 per its
 //	                 schema type)
+//	Checksum footer (version >= 2), after the last treelet:
+//	  headerCRC u32        CRC32C of the header bytes
+//	  numTreelets u32
+//	  treeletCRC u32 each  CRC32C of each treelet's byteLen bytes
+//	  footerCRC u32        CRC32C of the footer bytes above
+//	  footerLen u32        total footer length, trailing magic included
+//	  magic "BATF"
+//
+// The footer is located from the end of the file (magic + length), so the
+// version-1 layout is unchanged and version-1 files still read; they just
+// skip verification. Padding between treelets is not checksummed — it is
+// never interpreted.
 package bat
 
 import (
@@ -33,13 +45,21 @@ import (
 	"math"
 
 	"libbat/internal/bitmap"
+	"libbat/internal/checksum"
 	"libbat/internal/geom"
 	"libbat/internal/particles"
 )
 
 const (
-	magic   = "BAT1"
-	version = 1
+	magic = "BAT1"
+	// version is the format written; minVersion..version are readable.
+	// Version 2 added the CRC32C checksum footer.
+	version    = 2
+	minVersion = 1
+	// footerMagic terminates the version-2 checksum footer.
+	footerMagic = "BATF"
+	// footerFixedLen is the footer size excluding the per-treelet CRCs.
+	footerFixedLen = 4 + 4 + 4 + 4 + 4
 	// PageSize is the alignment of treelets in the file (§III-C3).
 	PageSize = 4096
 	// flagQuantized marks 16-bit fixed-point position storage.
@@ -309,6 +329,18 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 			}
 		}
 	}
+
+	// Checksum footer: header CRC plus one CRC per treelet section, then
+	// a CRC over the footer itself so its own corruption is detected.
+	footerStart := len(w.buf)
+	w.u32(checksum.CRC32C(w.buf[:headerSize]))
+	w.u32(uint32(len(treelets)))
+	for ti := range treelets {
+		w.u32(checksum.CRC32C(w.buf[offsets[ti] : offsets[ti]+uint64(sizes[ti])]))
+	}
+	w.u32(checksum.CRC32C(w.buf[footerStart:]))
+	w.u32(uint32(len(w.buf) - footerStart + 8))
+	w.bytes([]byte(footerMagic))
 
 	stats := BuildStats{
 		NumParticles:    set.Len(),

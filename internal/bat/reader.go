@@ -7,6 +7,7 @@ package bat
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -14,6 +15,7 @@ import (
 	"sync"
 
 	"libbat/internal/bitmap"
+	"libbat/internal/checksum"
 	"libbat/internal/geom"
 	"libbat/internal/mmapio"
 	"libbat/internal/particles"
@@ -59,6 +61,8 @@ type File struct {
 	src  io.ReaderAt
 	size int64
 
+	// Version is the on-disk format version the file was written with.
+	Version         int
 	NumParticles    uint64
 	Quantized       bool
 	Domain          geom.Box
@@ -74,6 +78,12 @@ type File struct {
 	shallow []shallowNode
 	leaves  []leafRef
 	dict    *bitmap.Dictionary
+
+	// Checksum footer state (version >= 2): the header length and CRC,
+	// and one CRC per treelet, verified when the treelet is loaded.
+	headerSize  int
+	headerCRC   uint32
+	treeletCRCs []uint32
 
 	closer io.Closer
 
@@ -200,14 +210,14 @@ func Decode(src io.ReaderAt, size int64) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != version {
-		return nil, fmt.Errorf("bat: unsupported version %d", ver)
+	if ver < minVersion || ver > version {
+		return nil, fmt.Errorf("bat: unsupported version %d (supported: %d-%d)", ver, minVersion, version)
 	}
 	flags, err := c.u32()
 	if err != nil {
 		return nil, err
 	}
-	f := &File{src: src, size: size, cache: make(map[int]*parsedTreelet)}
+	f := &File{src: src, size: size, Version: int(ver), cache: make(map[int]*parsedTreelet)}
 	f.Quantized = flags&flagQuantized != 0
 	if f.NumParticles, err = c.u64(); err != nil {
 		return nil, err
@@ -318,11 +328,32 @@ func Decode(src io.ReaderAt, size int64) (*File, error) {
 		if l.bounds, err = c.box(); err != nil {
 			return nil, err
 		}
-		if int64(l.offset) > size || int64(l.offset)+int64(l.byteLen) > size {
+		if l.offset > uint64(size) || l.offset+uint64(l.byteLen) > uint64(size) {
 			return nil, fmt.Errorf("bat: treelet %d extends past end of file", i)
 		}
 		if l.ids, err = c.ids(nA); err != nil {
 			return nil, err
+		}
+	}
+	// The shallow hierarchy must be an actual tree: at most one parent
+	// per node. Range checks alone admit diamond-shaped DAGs whose
+	// traversal revisits shared subtrees exponentially often before the
+	// depth guard fires — a crafted file could stall a reader that way.
+	innerSeen := make([]bool, nInner)
+	leafSeen := make([]bool, nLeaves)
+	for i := range f.shallow {
+		for _, ref := range [2]int32{f.shallow[i].left, f.shallow[i].right} {
+			if li, isLeaf := isShallowLeaf(ref); isLeaf {
+				if leafSeen[li] {
+					return nil, fmt.Errorf("bat: treelet %d has multiple parents", li)
+				}
+				leafSeen[li] = true
+			} else {
+				if innerSeen[ref] {
+					return nil, fmt.Errorf("bat: shallow node %d has multiple parents", ref)
+				}
+				innerSeen[ref] = true
+			}
 		}
 	}
 	dictLen, err := c.u32()
@@ -352,7 +383,95 @@ func Decode(src io.ReaderAt, size int64) (*File, error) {
 			return nil, fmt.Errorf("bat: leaf %d: %w", i, err)
 		}
 	}
+	if ver >= 2 {
+		if err := f.loadFooter(c); err != nil {
+			return nil, err
+		}
+	}
 	return f, nil
+}
+
+// ErrChecksum marks data whose CRC32C does not match its checksum —
+// on-disk corruption (or a torn write) rather than a malformed layout.
+var ErrChecksum = errors.New("bat: checksum mismatch")
+
+// loadFooter reads and verifies the version-2 checksum footer; c has just
+// parsed the header, so c.pos is the header length and c.buf its bytes.
+func (f *File) loadFooter(c *cursor) error {
+	f.headerSize = c.pos
+	if f.size < int64(c.pos)+footerFixedLen {
+		return fmt.Errorf("bat: file too small for checksum footer")
+	}
+	tail := make([]byte, 8)
+	if _, err := f.src.ReadAt(tail, f.size-8); err != nil && err != io.EOF {
+		return fmt.Errorf("bat: reading footer: %w", err)
+	}
+	if string(tail[4:]) != footerMagic {
+		return fmt.Errorf("%w: bad footer magic %q", ErrChecksum, tail[4:])
+	}
+	fLen := int64(binary.LittleEndian.Uint32(tail))
+	if fLen < footerFixedLen || fLen > f.size-int64(c.pos) {
+		return fmt.Errorf("%w: implausible footer length %d", ErrChecksum, fLen)
+	}
+	foot := make([]byte, fLen-8) // footer minus the trailing length+magic
+	if _, err := f.src.ReadAt(foot, f.size-fLen); err != nil && err != io.EOF {
+		return fmt.Errorf("bat: reading footer: %w", err)
+	}
+	wantFootCRC := binary.LittleEndian.Uint32(foot[len(foot)-4:])
+	if got := checksum.CRC32C(foot[:len(foot)-4]); got != wantFootCRC {
+		return fmt.Errorf("%w: footer CRC %08x != %08x", ErrChecksum, got, wantFootCRC)
+	}
+	f.headerCRC = binary.LittleEndian.Uint32(foot)
+	nT := binary.LittleEndian.Uint32(foot[4:])
+	if int(nT) != len(f.leaves) || int64(footerFixedLen+4*nT) != fLen {
+		return fmt.Errorf("%w: footer lists %d treelets, header %d", ErrChecksum, nT, len(f.leaves))
+	}
+	if got := checksum.CRC32C(c.buf[:c.pos]); got != f.headerCRC {
+		return fmt.Errorf("%w: header CRC %08x != %08x", ErrChecksum, got, f.headerCRC)
+	}
+	f.treeletCRCs = make([]uint32, nT)
+	for i := range f.treeletCRCs {
+		f.treeletCRCs[i] = binary.LittleEndian.Uint32(foot[8+4*i:])
+	}
+	// No treelet may extend into the footer region.
+	dataEnd := uint64(f.size - fLen)
+	for i, l := range f.leaves {
+		if l.offset+uint64(l.byteLen) > dataEnd {
+			return fmt.Errorf("bat: treelet %d overlaps checksum footer", i)
+		}
+	}
+	return nil
+}
+
+// Checksummed reports whether the file carries CRC32C checksums
+// (format version >= 2).
+func (f *File) Checksummed() bool { return f.treeletCRCs != nil }
+
+// Verify re-reads every checksummed section (header and all treelets)
+// and checks its CRC32C, without parsing or caching treelet contents.
+// It returns nil for pre-checksum (version 1) files, which carry nothing
+// to verify; use Checksummed to distinguish.
+func (f *File) Verify() error {
+	if !f.Checksummed() {
+		return nil
+	}
+	head := make([]byte, f.headerSize)
+	if _, err := f.src.ReadAt(head, 0); err != nil && err != io.EOF {
+		return fmt.Errorf("bat: verify header: %w", err)
+	}
+	if got := checksum.CRC32C(head); got != f.headerCRC {
+		return fmt.Errorf("%w: header CRC %08x != %08x", ErrChecksum, got, f.headerCRC)
+	}
+	for ti, ref := range f.leaves {
+		buf := make([]byte, ref.byteLen)
+		if _, err := f.src.ReadAt(buf, int64(ref.offset)); err != nil && err != io.EOF {
+			return fmt.Errorf("bat: verify treelet %d: %w", ti, err)
+		}
+		if got := checksum.CRC32C(buf); got != f.treeletCRCs[ti] {
+			return fmt.Errorf("%w: treelet %d CRC %08x != %08x", ErrChecksum, ti, got, f.treeletCRCs[ti])
+		}
+	}
+	return nil
 }
 
 // validChildRef reports whether a shallow-tree child reference points at an
@@ -383,6 +502,9 @@ func FromBuffer(buf []byte) (*File, error) {
 type readerAt []byte
 
 func (r readerAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("bat: negative read offset %d", off)
+	}
 	if off >= int64(len(r)) {
 		return 0, io.EOF
 	}
@@ -481,6 +603,11 @@ func (f *File) loadTreelet(ti int) (*parsedTreelet, error) {
 	if _, err := f.src.ReadAt(buf, int64(ref.offset)); err != nil {
 		return nil, fmt.Errorf("bat: reading treelet %d: %w", ti, err)
 	}
+	if f.treeletCRCs != nil {
+		if got := checksum.CRC32C(buf); got != f.treeletCRCs[ti] {
+			return nil, fmt.Errorf("%w: treelet %d CRC %08x != %08x", ErrChecksum, ti, got, f.treeletCRCs[ti])
+		}
+	}
 	c := &cursor{src: readerAt(buf), size: int64(len(buf))}
 	nNodes, err := c.u32()
 	if err != nil {
@@ -532,6 +659,21 @@ func (f *File) loadTreelet(ti int) (*parsedTreelet, error) {
 		}
 		if err := f.checkIDs(n.ids); err != nil {
 			return nil, fmt.Errorf("bat: treelet %d node %d: %w", ti, i, err)
+		}
+	}
+	// Same single-parent requirement as the shallow tree: inner-node
+	// links that share children would make the recursive walk exponential.
+	nodeSeen := make([]bool, nNodes)
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		if n.axis == uint8(leafAxis) {
+			continue
+		}
+		for _, ref := range [2]int32{n.left, n.right} {
+			if nodeSeen[ref] {
+				return nil, fmt.Errorf("bat: treelet %d node %d has multiple parents", ti, ref)
+			}
+			nodeSeen[ref] = true
 		}
 	}
 	readF32s := func() ([]float32, error) {

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"libbat/internal/fabric"
+)
+
+// ErrPartial marks a collective read that returned usable particles for
+// some leaves while others failed (damaged or missing files). Callers get
+// the surviving data plus per-leaf diagnostics in ReadStats.LeafErrors.
+var ErrPartial = errors.New("core: partial result")
+
+// agreeOnError is the pipelines' error-agreement collective: every rank
+// contributes its local error (nil for success) via an allgather, so all
+// ranks learn whether the operation succeeded everywhere. It returns nil
+// only when every rank passed nil; otherwise every rank gets an error
+// naming the failed ranks — ranks that failed locally keep their own error
+// wrapped, ranks that succeeded see the first remote message. Replacing a
+// plain completion barrier with this call is what lets one rank's failure
+// unwind the whole collective instead of deadlocking it (DESIGN.md §7).
+func agreeOnError(c *fabric.Comm, op string, local error) error {
+	var payload []byte
+	if local != nil {
+		payload = []byte(local.Error())
+		if len(payload) == 0 {
+			payload = []byte("unspecified error")
+		}
+	}
+	parts := c.Allgather(payload)
+	var failed []int
+	first := ""
+	for r, p := range parts {
+		if len(p) > 0 {
+			failed = append(failed, r)
+			if first == "" {
+				first = string(p)
+			}
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	if local != nil {
+		return fmt.Errorf("core: %s failed on rank(s) %v: %w", op, failed, local)
+	}
+	return fmt.Errorf("core: %s failed on rank(s) %v: %s", op, failed, first)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"time"
@@ -21,6 +22,13 @@ type ReadStats struct {
 	Transfer  time.Duration // waiting for and receiving remote replies
 	NumFiles  int           // leaf files this rank served as read aggregator
 	Particles int           // particles returned to this rank
+
+	// LeafErrors records, per selected leaf index, why that leaf's data
+	// could not be returned to this rank (damaged file, failed checksum,
+	// server-side error). A key of -1 marks a reply too mangled to name
+	// its leaf. When non-empty, ReadQuery returns the surviving particles
+	// together with an error wrapping ErrPartial.
+	LeafErrors map[int]error
 }
 
 // Total returns the rank's end-to-end read time.
@@ -53,6 +61,13 @@ func Read(c *fabric.Comm, store pfs.Storage, base string, bounds geom.Box) (*par
 // their leaf files. This is the distributed in situ analytics access path
 // the paper's §IV-B describes. Ranks may pass different queries; a rank
 // wanting nothing passes a query with empty bounds.
+//
+// Damaged leaf files degrade the read instead of killing it: the healthy
+// leaves' particles are returned alongside an error wrapping ErrPartial,
+// with per-leaf diagnostics in ReadStats.LeafErrors. A rank that cannot
+// read the metadata fails the whole collective — via the same
+// error-agreement collective the write pipeline ends with — since query
+// routing needs every rank to share the leaf assignment.
 func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*particles.Set, *ReadStats, error) {
 	stats := &ReadStats{}
 
@@ -65,8 +80,11 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 	metaSp := col.Start(c.Rank(), "read.meta")
 	m, err := readMeta(store, MetaFileName(base))
 	metaSp.End()
-	if err != nil {
-		return nil, nil, err
+	// Agree on the metadata status before any queries are routed: a rank
+	// returning here while others proceed would leave their queries to it
+	// unanswered forever.
+	if aerr := agreeOnError(c, "read metadata", err); aerr != nil {
+		return nil, nil, aerr
 	}
 	stats.Metadata = time.Since(metaStart)
 	nLeaves := len(m.Leaves)
@@ -105,14 +123,27 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 	}
 
 	// Serve queries for the leaves assigned to this rank while collecting
-	// replies; cache opened files across queries. Errors (e.g. a damaged
-	// leaf file) must not abandon the collective protocol — the rank
-	// keeps serving and answering with error replies so every rank exits
-	// the loop, then reports the first error.
+	// replies; cache opened files across queries. Errors must not abandon
+	// the collective protocol — the rank keeps serving and answering with
+	// error replies so every rank exits the loop. A damaged leaf costs
+	// only that leaf (recorded per requester in LeafErrors); protocol
+	// corruption (an undecodable query) fails the rank outright.
 	var firstErr error
 	note := func(err error) {
 		if err != nil && firstErr == nil {
 			firstErr = err
+		}
+	}
+	var firstLeafErr error
+	noteLeaf := func(li int, err error) {
+		if stats.LeafErrors == nil {
+			stats.LeafErrors = map[int]error{}
+		}
+		if _, dup := stats.LeafErrors[li]; !dup {
+			stats.LeafErrors[li] = err
+		}
+		if firstLeafErr == nil {
+			firstLeafErr = err
 		}
 	}
 	files := map[int]*bat.File{}
@@ -135,16 +166,17 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 		var rq queryMsg
 		if err := decode(raw, &rq); err != nil {
 			note(err)
-			c.Isend(st.Source, tagReply, replyError(err))
+			c.Isend(st.Source, tagReply, replyError(-1, err))
 			return true
 		}
 		sub, err := queryLeaf(store, m, files, rq.Leaf, rq.toBAT(), stats)
 		if err != nil {
-			note(err)
-			c.Isend(st.Source, tagReply, replyError(err))
+			// The requester records the leaf failure; serving it must not
+			// poison this rank's own read.
+			c.Isend(st.Source, tagReply, replyError(rq.Leaf, err))
 			return true
 		}
-		reply := replyData(sub)
+		reply := replyData(rq.Leaf, sub)
 		replyBytes.Add(int64(len(reply)))
 		c.Isend(st.Source, tagReply, reply)
 		return true
@@ -158,9 +190,9 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 			return false
 		}
 		raw, _ := c.Recv(st.Source, tagReply)
-		part, err := parseReply(raw, m.Schema)
+		leaf, part, err := parseReply(raw, m.Schema)
 		if err != nil {
-			note(fmt.Errorf("core: reply from rank %d: %w", st.Source, err))
+			noteLeaf(leaf, fmt.Errorf("core: leaf %d via rank %d: %w", leaf, st.Source, err))
 		} else {
 			out.AppendSet(part)
 		}
@@ -176,7 +208,7 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 		sp.End()
 		served.Inc()
 		if err != nil {
-			note(err)
+			noteLeaf(li, err)
 			continue
 		}
 		out.AppendSet(sub)
@@ -206,32 +238,48 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 		stats.Transfer = 0
 	}
 	stats.Particles = out.Len()
+	if len(stats.LeafErrors) > 0 {
+		return out, stats, fmt.Errorf("%w: %d of %d selected leaves failed (first: %v)",
+			ErrPartial, len(stats.LeafErrors), len(want), firstLeafErr)
+	}
 	return out, stats, nil
 }
 
-// Reply framing: one status byte (0 = data, 1 = error) followed by either
-// a marshaled particle set or an error string.
+// Reply framing: one status byte (0 = data, 1 = error), the leaf index as
+// a little-endian u32 (so the requester can attribute failures per leaf;
+// ^0 when the server could not decode the query), then either a marshaled
+// particle set or an error string.
 const (
-	replyOK   = 0
-	replyFail = 1
+	replyOK      = 0
+	replyFail    = 1
+	replyHdrSize = 5
 )
 
-func replyData(s *particles.Set) []byte {
-	return append([]byte{replyOK}, s.Marshal()...)
+func replyHeader(status byte, leaf int) []byte {
+	hdr := make([]byte, replyHdrSize)
+	hdr[0] = status
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(leaf))
+	return hdr
 }
 
-func replyError(err error) []byte {
-	return append([]byte{replyFail}, err.Error()...)
+func replyData(leaf int, s *particles.Set) []byte {
+	return append(replyHeader(replyOK, leaf), s.Marshal()...)
 }
 
-func parseReply(raw []byte, schema particles.Schema) (*particles.Set, error) {
-	if len(raw) == 0 {
-		return nil, fmt.Errorf("empty reply")
+func replyError(leaf int, err error) []byte {
+	return append(replyHeader(replyFail, leaf), err.Error()...)
+}
+
+func parseReply(raw []byte, schema particles.Schema) (int, *particles.Set, error) {
+	if len(raw) < replyHdrSize {
+		return -1, nil, fmt.Errorf("short reply (%d bytes)", len(raw))
 	}
+	leaf := int(int32(binary.LittleEndian.Uint32(raw[1:])))
 	if raw[0] == replyFail {
-		return nil, fmt.Errorf("server error: %s", raw[1:])
+		return leaf, nil, fmt.Errorf("server error: %s", raw[replyHdrSize:])
 	}
-	return particles.Unmarshal(raw[1:], schema)
+	s, err := particles.Unmarshal(raw[replyHdrSize:], schema)
+	return leaf, s, err
 }
 
 // readMeta loads and parses the metadata file.

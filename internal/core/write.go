@@ -47,6 +47,11 @@ type WriteConfig struct {
 	// Layout overrides the leaf file format (nil = the BAT). See the
 	// Layout interface for the contract and caveats.
 	Layout Layout
+	// Timeout bounds every blocking wait on a peer message (an
+	// aggregator waiting for a sender's particles, rank 0 waiting for a
+	// leaf report), converting a vanished peer into a fabric.ErrTimeout
+	// instead of a deadlock. Zero means wait forever.
+	Timeout time.Duration
 }
 
 // DefaultWriteConfig returns the paper's evaluation configuration for the
@@ -57,6 +62,7 @@ func DefaultWriteConfig(targetFileSize int64) WriteConfig {
 		Strategy:       Adaptive,
 		Tree:           aggtree.DefaultConfig(targetFileSize, 1), // bpp fixed at write time
 		BAT:            bat.DefaultBuildConfig(),
+		Timeout:        30 * time.Second,
 	}
 }
 
@@ -133,9 +139,12 @@ func MetaFileName(base string) string { return base + ".batm" }
 // to store under base; rank 0 additionally writes the top-level metadata.
 //
 // Failures anywhere in the pipeline (a bad plan, a failed leaf build or
-// file write) complete the collective protocol before surfacing, so no
-// rank is left deadlocked; the failing ranks (and rank 0) return the
-// error.
+// file write, a vanished peer) complete the collective protocol before
+// surfacing, so no rank is left deadlocked. The pipeline ends with an
+// error-agreement collective: if any rank failed, every rank returns an
+// error naming the failed ranks, and files written for the poisoned
+// dataset (leaf files, metadata) are removed so no partial dataset stays
+// visible. cfg.Timeout bounds each blocking peer wait.
 func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 	bounds geom.Box, cfg WriteConfig) (*WriteStats, error) {
 
@@ -154,15 +163,16 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 	infos := c.Gather(0, encode(infoMsg{Count: int64(local.Len()), Bounds: bounds}))
 	gatherSp.End()
 	var asg assignMsg
+	var asgErr error // rank failed to obtain its assignment; skip the body
 	var tree *aggtree.Tree
 	var leaves []aggtree.Leaf
 	if c.Rank() == 0 {
-		planErr := func() error {
+		parts, planErr := func() ([][]byte, error) {
 			ranks := make([]aggtree.RankInfo, c.Size())
 			for r, raw := range infos {
 				var im infoMsg
 				if err := decode(raw, &im); err != nil {
-					return fmt.Errorf("core: decoding rank %d info: %w", r, err)
+					return nil, fmt.Errorf("core: decoding rank %d info: %w", r, err)
 				}
 				ranks[r] = aggtree.RankInfo{Rank: r, Bounds: im.Bounds, Count: im.Count}
 			}
@@ -186,7 +196,7 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 			}
 			buildSp.End()
 			if err != nil {
-				return err
+				return nil, err
 			}
 			stats.TreeBuild = time.Since(treeStart)
 			rankAgg := aggtree.AssignAggregators(leaves, c.Size())
@@ -215,14 +225,13 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 			for r := range parts {
 				parts[r] = encode(msgs[r])
 			}
-			scatterSp := col.Start(c.Rank(), "write.scatter")
-			defer scatterSp.End()
-			return decode(c.Scatterv(0, parts), &asg)
+			return parts, nil
 		}()
 		if planErr != nil {
-			// Planning failed: tell every rank to abort collectively.
+			// Planning failed before anything was scattered: tell every
+			// rank to abort collectively. Every rank takes this barrier.
 			abort := encode(assignMsg{Abort: planErr.Error()})
-			parts := make([][]byte, c.Size())
+			parts = make([][]byte, c.Size())
 			for r := range parts {
 				parts[r] = abort
 			}
@@ -230,32 +239,48 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 			c.Barrier()
 			return nil, planErr
 		}
+		scatterSp := col.Start(c.Rank(), "write.scatter")
+		err := decode(c.Scatterv(0, parts), &asg)
+		scatterSp.End()
+		if err != nil {
+			asgErr = fmt.Errorf("core: decoding assignment: %w", err)
+		}
 	} else {
 		scatterSp := col.Start(c.Rank(), "write.scatter")
 		err := decode(c.Scatterv(0, nil), &asg)
 		scatterSp.End()
 		if err != nil {
-			return nil, err
-		}
-		if asg.Abort != "" {
+			// The assignment is unusable; this rank sits out the data
+			// phases and lets the error agreement unwind everyone. Peers
+			// waiting on its particles hit cfg.Timeout instead of hanging.
+			asgErr = fmt.Errorf("core: rank %d decoding assignment: %w", c.Rank(), err)
+		} else if asg.Abort != "" {
 			c.Barrier()
 			return nil, fmt.Errorf("core: write aborted by rank 0: %s", asg.Abort)
 		}
 	}
 	stats.GatherScatter = time.Since(start) - stats.TreeBuild
 
-	bodyErr := writeBody(c, store, base, local, cfg, asg, schema, stats)
+	var written []string
+	bodyErr := asgErr
+	if asgErr == nil {
+		written, bodyErr = writeBody(c, store, base, local, cfg, asg, schema, stats)
+	}
 
 	// Gather every rank's phase timings so rank 0 can report the
 	// critical-path breakdown (the view Figures 6/10/12 plot).
 	phaseGather := c.Gather(0, encode(stats.phases()))
 
+	localErr := bodyErr
 	if c.Rank() == 0 {
 		pm := &PhaseTimes{}
 		for r, raw := range phaseGather {
 			var pt PhaseTimes
 			if err := decode(raw, &pt); err != nil {
-				return nil, fmt.Errorf("core: decoding rank %d timings: %w", r, err)
+				if localErr == nil {
+					localErr = fmt.Errorf("core: decoding rank %d timings: %w", r, err)
+				}
+				continue
 			}
 			pm.TreeBuild = maxDur(pm.TreeBuild, pt.TreeBuild)
 			pm.GatherScatter = maxDur(pm.GatherScatter, pt.GatherScatter)
@@ -268,13 +293,20 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 
 		// Phase d: gather the aggregators' reports and write the
 		// top-level metadata (Figure 1d). Error-marked reports poison the
-		// write but are still collected so the collective completes.
+		// write but are still collected so the collective completes; a
+		// report that never arrives (its aggregator died) surfaces as a
+		// timeout rather than a hang.
 		metaStart := time.Now()
 		metaSp := col.Start(c.Rank(), "write.metadata")
 		reports := make([]meta.LeafReport, 0, len(leaves))
 		var leafErr error
 		for received := 0; received < len(leaves); received++ {
-			raw, _ := c.Recv(fabric.AnySource, tagReport)
+			raw, _, err := c.RecvTimeout(fabric.AnySource, tagReport, cfg.Timeout)
+			if err != nil {
+				leafErr = fmt.Errorf("core: collecting leaf reports (%d of %d): %w",
+					received, len(leaves), err)
+				break
+			}
 			var rm reportMsg
 			if err := decode(raw, &rm); err != nil {
 				leafErr = fmt.Errorf("core: decoding report: %w", err)
@@ -288,7 +320,7 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 			}
 			reports = append(reports, rm.toMeta())
 		}
-		if leafErr == nil && bodyErr == nil {
+		if leafErr == nil && localErr == nil {
 			m, err := meta.Build(tree, leaves, schema, reports)
 			if err == nil {
 				err = store.WriteFile(MetaFileName(base), m.Encode())
@@ -298,35 +330,41 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 		stats.Metadata = time.Since(metaStart)
 		metaSp.End()
 		pm.Metadata = maxDur(pm.Metadata, stats.Metadata)
-		c.Barrier()
-		if bodyErr != nil {
-			return nil, bodyErr
+		if localErr == nil {
+			localErr = leafErr
 		}
-		if leafErr != nil {
-			return nil, leafErr
-		}
-		return stats, nil
 	}
 
-	c.Barrier()
-	if bodyErr != nil {
-		return nil, bodyErr
+	// Error agreement in place of a completion barrier: every rank learns
+	// whether the write succeeded everywhere. On failure, each rank removes
+	// the leaf files it wrote (and rank 0 the metadata), so a poisoned
+	// write leaves no partial dataset behind.
+	if collErr := agreeOnError(c, "write", localErr); collErr != nil {
+		for _, name := range written {
+			store.Remove(name)
+		}
+		if c.Rank() == 0 {
+			store.Remove(MetaFileName(base))
+		}
+		return nil, collErr
 	}
 	return stats, nil
 }
 
 // writeBody runs phases b-c on every rank: send local data to the
 // assigned aggregator, and, when aggregating, receive each leaf's data,
-// build its BAT, write the file, and report to rank 0.
+// build its BAT, write the file, and report to rank 0. It returns the
+// names of the leaf files this rank wrote, so a failed collective can
+// remove them.
 func writeBody(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
-	cfg WriteConfig, asg assignMsg, schema particles.Schema, stats *WriteStats) error {
+	cfg WriteConfig, asg assignMsg, schema particles.Schema, stats *WriteStats) ([]string, error) {
 
 	// Phase b: nonblocking send of local data to the aggregator
 	// (Figure 1b). Ranks without particles skip the transfer.
 	xferStart := time.Now()
 	if local.Len() > 0 {
 		if asg.Aggregator < 0 {
-			return fmt.Errorf("core: rank %d has %d particles but no aggregator", c.Rank(), local.Len())
+			return nil, fmt.Errorf("core: rank %d has %d particles but no aggregator", c.Rank(), local.Len())
 		}
 		if asg.Aggregator != c.Rank() {
 			c.Isend(asg.Aggregator, tagData, local.Marshal())
@@ -348,28 +386,34 @@ func writeBody(c *fabric.Comm, store pfs.Storage, base string, local *particles.
 	// leaf sends an error report so rank 0's collection (and the final
 	// barrier) still complete.
 	var firstErr error
+	var written []string
 	for _, la := range asg.Leaves {
-		report, err := aggregateLeaf(c, store, base, local, layout, la, schema, stats, &xferStart)
+		report, err := aggregateLeaf(c, store, base, local, layout, la, schema, stats,
+			&xferStart, cfg.Timeout)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			report = reportMsg{Leaf: la.Leaf, Err: err.Error()}
+		} else {
+			written = append(written, report.FileName)
 		}
 		c.Isend(0, tagReport, encode(report))
 	}
 	if len(asg.Leaves) == 0 {
 		stats.Transfer += time.Since(xferStart)
 	}
-	return firstErr
+	return written, firstErr
 }
 
 // aggregateLeaf receives one leaf's particles, builds its layout, and
 // writes the file, returning the report for rank 0. Incoming transfers are
-// always drained, even on failure, so no stray messages survive the call.
+// always drained, even on failure, so no stray messages survive the call;
+// a sender that never delivers (it died before the data phase) turns into
+// a timeout error after cfg.Timeout instead of hanging the aggregator.
 func aggregateLeaf(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 	layout Layout, la leafAssign, schema particles.Schema, stats *WriteStats,
-	xferStart *time.Time) (reportMsg, error) {
+	xferStart *time.Time, timeout time.Duration) (reportMsg, error) {
 
 	col := c.Observer()
 	var total int64
@@ -389,7 +433,11 @@ func aggregateLeaf(c *fabric.Comm, store pfs.Storage, base string, local *partic
 	var recvErr error
 	var aggBytes int64
 	for _, r := range reqs {
-		raw, _ := r.Wait()
+		raw, _, err := r.WaitTimeout(timeout)
+		if err != nil {
+			recvErr = fmt.Errorf("core: leaf %d: %w", la.Leaf, err)
+			continue
+		}
 		aggBytes += int64(len(raw))
 		part, err := particles.Unmarshal(raw, schema)
 		if err != nil {

@@ -12,12 +12,20 @@
 package fabric
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"libbat/internal/obs"
 )
+
+// ErrTimeout is returned (wrapped) by deadline-aware receives when no
+// matching message arrives in time. Pipelines use it to turn a hung peer
+// into a diagnosable error instead of a deadlock.
+var ErrTimeout = errors.New("fabric: timeout")
 
 // Wildcards accepted by receive operations.
 const (
@@ -206,6 +214,42 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 	}
 }
 
+// RecvTimeout is Recv with a deadline: it blocks until a matching message
+// arrives or timeout elapses, in which case it returns an error wrapping
+// ErrTimeout. A timeout <= 0 means wait forever.
+func (c *Comm) RecvTimeout(src, tag int, timeout time.Duration) ([]byte, Status, error) {
+	if timeout <= 0 {
+		d, st := c.Recv(src, tag)
+		return d, st, nil
+	}
+	ib := c.f.inboxes[c.rank]
+	deadline := time.Now().Add(timeout)
+	expired := false
+	// The timer takes the inbox lock before broadcasting so the wakeup
+	// cannot slip between a waiter's deadline check and its cond.Wait.
+	t := time.AfterFunc(timeout, func() {
+		ib.mu.Lock()
+		expired = true
+		ib.mu.Unlock()
+		ib.cond.Broadcast()
+	})
+	defer t.Stop()
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		if m, ok := ib.match(src, tag); ok {
+			c.noteRecv(len(m.data))
+			return m.data, Status{Source: m.src, Tag: m.tag}, nil
+		}
+		if expired || !time.Now().Before(deadline) {
+			return nil, Status{}, fmt.Errorf(
+				"%w: rank %d: no message matching src=%d tag=%d within %v",
+				ErrTimeout, c.rank, src, tag, timeout)
+		}
+		ib.cond.Wait()
+	}
+}
+
 // Probe reports whether a message matching (src, tag) is available without
 // receiving it. It never blocks (MPI_Iprobe).
 func (c *Comm) Probe(src, tag int) (Status, bool) {
@@ -268,6 +312,23 @@ func (r *Request) Wait() ([]byte, Status) {
 	r.data, r.status = r.c.Recv(r.src, r.tag)
 	r.done = true
 	return r.data, r.status
+}
+
+// WaitTimeout blocks until the request completes or timeout elapses,
+// returning an error wrapping ErrTimeout in the latter case. The request
+// stays valid after a timeout and may be waited on again. A timeout <= 0
+// means wait forever.
+func (r *Request) WaitTimeout(timeout time.Duration) ([]byte, Status, error) {
+	if r.done {
+		return r.data, r.status, nil
+	}
+	d, st, err := r.c.RecvTimeout(r.src, r.tag, timeout)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	r.data, r.status = d, st
+	r.done = true
+	return d, st, nil
 }
 
 // WaitAll completes every request.
@@ -345,6 +406,7 @@ const (
 	tagGather = 1<<30 + iota
 	tagScatter
 	tagBcast
+	tagAllgather
 )
 
 // Gather collects data from every rank on root. On root the result has one
@@ -397,6 +459,56 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 	}
 	d, _ := c.Recv(root, tagBcast)
 	return d
+}
+
+// Allgather collects each rank's contribution and returns all of them on
+// every rank, indexed by rank (MPI_Allgather). Implemented as a gather to
+// rank 0 followed by a broadcast of the length-prefixed pack; like the
+// other collectives it must be entered by every rank.
+func (c *Comm) Allgather(data []byte) [][]byte {
+	c.noteCollective("allgather")
+	if c.rank != 0 {
+		c.Send(0, tagAllgather, data)
+		pack, _ := c.Recv(0, tagAllgather)
+		return unpackParts(pack, c.f.size)
+	}
+	parts := make([][]byte, c.f.size)
+	parts[0] = data
+	for i := 0; i < c.f.size-1; i++ {
+		d, st := c.Recv(AnySource, tagAllgather)
+		parts[st.Source] = d
+	}
+	pack := packParts(parts)
+	for i := 1; i < c.f.size; i++ {
+		c.Send(i, tagAllgather, pack)
+	}
+	return parts
+}
+
+// packParts serializes a slice of byte slices with u32 length prefixes.
+func packParts(parts [][]byte) []byte {
+	n := 0
+	for _, p := range parts {
+		n += 4 + len(p)
+	}
+	buf := make([]byte, 0, n)
+	for _, p := range parts {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// unpackParts reverses packParts. The pack comes from rank 0 over the
+// fabric, so malformed input is a programming error and panics.
+func unpackParts(buf []byte, n int) [][]byte {
+	parts := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		l := binary.LittleEndian.Uint32(buf)
+		parts[i] = buf[4 : 4+l]
+		buf = buf[4+l:]
+	}
+	return parts
 }
 
 // Run spawns size ranks, invoking body with each rank's communicator, and

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -400,6 +401,108 @@ func TestSingleRankFabric(t *testing.T) {
 		br := c.Ibarrier()
 		if !br.Test() {
 			return fmt.Errorf("single-rank Ibarrier incomplete")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Nothing was sent with tag 9: the receive must time out.
+			_, _, err := c.RecvTimeout(1, 9, 20*time.Millisecond)
+			if !errors.Is(err, ErrTimeout) {
+				return fmt.Errorf("want ErrTimeout, got %v", err)
+			}
+			// A message already queued is returned immediately.
+			d, st, err := c.RecvTimeout(1, 7, time.Second)
+			if err != nil || string(d) != "hi" || st.Source != 1 {
+				return fmt.Errorf("queued recv: %q %v %v", d, st, err)
+			}
+		} else {
+			c.Send(0, 7, []byte("hi"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeoutLateArrival(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			d, _, err := c.RecvTimeout(1, 3, 5*time.Second)
+			if err != nil || string(d) != "late" {
+				return fmt.Errorf("late recv: %q %v", d, err)
+			}
+		} else {
+			time.Sleep(10 * time.Millisecond)
+			c.Send(0, 3, []byte("late"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Irecv(1, 5)
+			if _, _, err := req.WaitTimeout(10 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+				return fmt.Errorf("want ErrTimeout, got %v", err)
+			}
+			// The request stays usable after a timeout.
+			c.Barrier()
+			d, _, err := req.WaitTimeout(5 * time.Second)
+			if err != nil || string(d) != "ok" {
+				return fmt.Errorf("second wait: %q %v", d, err)
+			}
+		} else {
+			c.Barrier()
+			c.Send(0, 5, []byte("ok"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 5
+	err := Run(n, func(c *Comm) error {
+		mine := []byte(fmt.Sprintf("rank-%d", c.Rank()))
+		all := c.Allgather(mine)
+		if len(all) != n {
+			return fmt.Errorf("got %d parts", len(all))
+		}
+		for i, p := range all {
+			if want := fmt.Sprintf("rank-%d", i); string(p) != want {
+				return fmt.Errorf("part %d = %q, want %q", i, p, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherEmptyParts(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		var mine []byte
+		if c.Rank() == 1 {
+			mine = []byte("x")
+		}
+		all := c.Allgather(mine)
+		if len(all[0]) != 0 || string(all[1]) != "x" || len(all[2]) != 0 {
+			return fmt.Errorf("allgather = %q", all)
 		}
 		return nil
 	})

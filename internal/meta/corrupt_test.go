@@ -1,0 +1,124 @@
+package meta
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func encodedFixture(t *testing.T) []byte {
+	t.Helper()
+	tr, schema, reports := fixture(t)
+	m, err := Build(tr, tr.Leaves, schema, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Encode()
+}
+
+// TestDecodeDetectsEveryBitFlip: the version-2 trailer checksums the whole
+// buffer, so any single flipped bit — including in the trailer itself —
+// must fail Decode.
+func TestDecodeDetectsEveryBitFlip(t *testing.T) {
+	buf := encodedFixture(t)
+	for i := range buf {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 1 << (i % 8)
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestDecodeChecksumError(t *testing.T) {
+	buf := encodedFixture(t)
+	mut := append([]byte(nil), buf...)
+	mut[len(mut)/2] ^= 0x10
+	if _, err := Decode(mut); !errors.Is(err, ErrChecksum) {
+		t.Errorf("mid-buffer flip: want ErrChecksum, got %v", err)
+	}
+}
+
+// TestDecodeTruncated: every proper prefix must error, never panic.
+func TestDecodeTruncated(t *testing.T) {
+	buf := encodedFixture(t)
+	for l := 0; l < len(buf); l++ {
+		if _, err := Decode(buf[:l]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", l)
+		}
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	buf := encodedFixture(t)
+	mut := append([]byte(nil), buf...)
+	mut[4] = 99 // version field follows the 4-byte magic
+	if _, err := Decode(mut); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+// TestV1StillDecodes synthesizes a pre-checksum (version 1) file — the v2
+// image minus its trailer, version field patched — and requires it to
+// parse identically. This is the backward-compatibility guarantee for
+// datasets written before the format bump.
+func TestV1StillDecodes(t *testing.T) {
+	buf := encodedFixture(t)
+	v2, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1buf := append([]byte(nil), buf[:len(buf)-trailerLen]...)
+	v1buf[4] = 1
+	v1, err := Decode(v1buf)
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if v1.TotalCount() != v2.TotalCount() || len(v1.Leaves) != len(v2.Leaves) ||
+		len(v1.Nodes) != len(v2.Nodes) {
+		t.Errorf("v1 decode differs: %d/%d/%d vs %d/%d/%d",
+			v1.TotalCount(), len(v1.Leaves), len(v1.Nodes),
+			v2.TotalCount(), len(v2.Leaves), len(v2.Nodes))
+	}
+}
+
+func TestEncodeEndsWithTrailer(t *testing.T) {
+	buf := encodedFixture(t)
+	if !bytes.HasSuffix(buf, []byte(trailerMagic)) {
+		t.Errorf("encoded metadata missing trailer magic, tail %q", buf[len(buf)-8:])
+	}
+}
+
+// FuzzDecode throws arbitrary bytes at the parser: it must return an
+// error or a usable Meta, never panic.
+func FuzzDecode(f *testing.F) {
+	valid := func() []byte {
+		tr, schema, reports, err := buildFixture()
+		if err != nil {
+			return nil
+		}
+		m, err := Build(tr, tr.Leaves, schema, reports)
+		if err != nil {
+			return nil
+		}
+		return m.Encode()
+	}()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("BATM"))
+	if len(valid) > 10 {
+		f.Add(valid[:10])
+		v1 := append([]byte(nil), valid[:len(valid)-trailerLen]...)
+		v1[4] = 1
+		f.Add(v1) // uncheck-summed path reaches the body parser
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be safe to traverse.
+		m.TotalCount()
+		m.SelectLeaves(nil, nil)
+	})
+}

@@ -9,17 +9,33 @@ package meta
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
 	"libbat/internal/aggtree"
 	"libbat/internal/bitmap"
+	"libbat/internal/checksum"
 	"libbat/internal/geom"
 	"libbat/internal/particles"
 )
 
 const magic = "BATM"
-const version = 1
+
+// version is the format written; version 2 appended a CRC32C trailer
+// (checksum u32 over every preceding byte, then trailer magic) verified
+// before the body is parsed. Version-1 files, which have no trailer, are
+// still read.
+const (
+	version      = 2
+	minVersion   = 1
+	trailerMagic = "BMCK"
+	trailerLen   = 8
+)
+
+// ErrChecksum marks a metadata buffer whose CRC32C does not match its
+// trailer — on-disk corruption rather than a malformed layout.
+var ErrChecksum = errors.New("meta: checksum mismatch")
 
 // LeafReport is what an aggregator sends to rank 0 after writing its leaf
 // file: the file name, the particles written, and each attribute's local
@@ -287,6 +303,9 @@ func (m *Meta) Encode() []byte {
 		}
 		w.bitmaps(l.Bitmaps)
 	}
+	// Checksum trailer over everything above.
+	w.u32(checksum.CRC32C(w.buf))
+	w.buf = append(w.buf, trailerMagic...)
 	return w.buf
 }
 
@@ -393,8 +412,22 @@ func Decode(buf []byte) (*Meta, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != version {
-		return nil, fmt.Errorf("meta: unsupported version %d", ver)
+	if ver < minVersion || ver > version {
+		return nil, fmt.Errorf("meta: unsupported version %d (supported: %d-%d)", ver, minVersion, version)
+	}
+	if ver >= 2 {
+		// Verify the whole-buffer CRC before trusting any field beyond
+		// the version: a single flipped bit anywhere is detected here.
+		if len(buf) < trailerLen+8 {
+			return nil, fmt.Errorf("meta: buffer too small for checksum trailer")
+		}
+		if string(buf[len(buf)-4:]) != trailerMagic {
+			return nil, fmt.Errorf("%w: bad trailer magic %q", ErrChecksum, buf[len(buf)-4:])
+		}
+		want := binary.LittleEndian.Uint32(buf[len(buf)-trailerLen:])
+		if got := checksum.CRC32C(buf[:len(buf)-trailerLen]); got != want {
+			return nil, fmt.Errorf("%w: CRC %08x != %08x", ErrChecksum, got, want)
+		}
 	}
 	nA32, err := r.u32()
 	if err != nil {

@@ -11,9 +11,8 @@ import (
 	"libbat/internal/particles"
 )
 
-// fixture builds a 4-leaf adaptive tree with reports.
-func fixture(t *testing.T) (*aggtree.Tree, particles.Schema, []LeafReport) {
-	t.Helper()
+// buildFixture is fixture without the testing.T, usable from fuzz seeds.
+func buildFixture() (*aggtree.Tree, particles.Schema, []LeafReport, error) {
 	var ranks []aggtree.RankInfo
 	for i := 0; i < 4; i++ {
 		lo := geom.V3(float64(i), 0, 0)
@@ -26,10 +25,10 @@ func fixture(t *testing.T) (*aggtree.Tree, particles.Schema, []LeafReport) {
 	schema := particles.NewSchema("temp", "mass")
 	tr, err := aggtree.Build(ranks, aggtree.DefaultConfig(100*int64(schema.BytesPerParticle()), schema.BytesPerParticle()))
 	if err != nil {
-		t.Fatal(err)
+		return nil, schema, nil, err
 	}
 	if tr.NumLeaves() != 4 {
-		t.Fatalf("fixture wants 4 leaves, got %d", tr.NumLeaves())
+		return nil, schema, nil, fmt.Errorf("fixture wants 4 leaves, got %d", tr.NumLeaves())
 	}
 	var reports []LeafReport
 	for i, l := range tr.Leaves {
@@ -44,6 +43,16 @@ func fixture(t *testing.T) (*aggtree.Tree, particles.Schema, []LeafReport) {
 			},
 			RootBitmaps: []bitmap.Bitmap{0xFFFFFFFF, 0xFFFFFFFF},
 		})
+	}
+	return tr, schema, reports, nil
+}
+
+// fixture builds a 4-leaf adaptive tree with reports.
+func fixture(t *testing.T) (*aggtree.Tree, particles.Schema, []LeafReport) {
+	t.Helper()
+	tr, schema, reports, err := buildFixture()
+	if err != nil {
+		t.Fatal(err)
 	}
 	return tr, schema, reports
 }

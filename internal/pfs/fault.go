@@ -1,0 +1,277 @@
+// Fault injection for pipeline robustness tests: a seeded, concurrency-safe
+// Storage decorator that produces the failure modes a parallel filesystem
+// exhibits under load — transient and permanent operation failures, torn
+// (partially persisted) writes, and silent read corruption.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is returned (wrapped) by Faulty for every injected fault.
+var ErrInjected = errors.New("pfs: injected fault")
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() + " (transient)" }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so IsTransient reports true. Retry decorators use
+// this classification to distinguish faults worth retrying from permanent
+// failures that must surface immediately.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// FaultConfig configures probabilistic fault injection. Probabilities are
+// in [0,1] and rolled independently per operation from the injector's
+// seeded generator.
+type FaultConfig struct {
+	// Seed makes the fault schedule reproducible.
+	Seed int64
+	// WriteFailProb is the chance a WriteFile fails (transiently) without
+	// touching the underlying storage.
+	WriteFailProb float64
+	// TornWriteProb is the chance a WriteFile persists only a prefix of
+	// the data before failing transiently — the corruption a non-atomic
+	// store would expose and checksums must catch.
+	TornWriteProb float64
+	// OpenFailProb is the chance an Open fails transiently.
+	OpenFailProb float64
+	// ReadFailProb is the chance a ReadAt on an opened file fails
+	// transiently.
+	ReadFailProb float64
+	// BitFlipProb is the chance a ReadAt silently flips one random bit in
+	// the returned data. Bit flips are not errors; only checksum
+	// verification in the formats can detect them.
+	BitFlipProb float64
+	// MaxConsecutive caps the consecutive probabilistic faults injected
+	// per (operation, file); after the cap the next attempt is let
+	// through. 0 means uncapped. A retry policy with more attempts than
+	// this cap is guaranteed to mask every probabilistic fault, which
+	// keeps seeded chaos tests deterministic.
+	MaxConsecutive int
+}
+
+// Faulty wraps a Storage and injects faults: permanent per-name failures
+// (the FailWrites/FailOpens maps), deterministic fail-first-N transient
+// faults, and the probabilistic faults of FaultConfig. All methods are
+// safe for concurrent use by aggregator goroutines.
+type Faulty struct {
+	Storage
+	// FailWrites and FailOpens name files whose writes/opens fail
+	// permanently (never retryable). They may be set at construction;
+	// use FailWritesPermanently/FailOpensPermanently to add names once
+	// the injector is shared between goroutines.
+	FailWrites map[string]bool
+	FailOpens  map[string]bool
+
+	mu         sync.Mutex
+	cfg        FaultConfig
+	rng        *rand.Rand
+	nextWrites map[string]int // remaining scheduled transient write faults
+	nextOpens  map[string]int
+	streak     map[string]int // consecutive probabilistic faults per op:name
+	injected   int64
+}
+
+// NewFaulty wraps store with a seeded fault injector.
+func NewFaulty(store Storage, cfg FaultConfig) *Faulty {
+	return &Faulty{Storage: store, cfg: cfg}
+}
+
+// locked returns the generator, initializing lazily so zero-value Faulty
+// literals (permanent-fault maps only) keep working. Callers hold f.mu.
+func (f *Faulty) gen() *rand.Rand {
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(f.cfg.Seed))
+	}
+	return f.rng
+}
+
+// roll draws one probability check. Callers hold f.mu.
+func (f *Faulty) roll(p float64) bool {
+	return p > 0 && f.gen().Float64() < p
+}
+
+// allowFault applies the MaxConsecutive cap for the (operation, file) key
+// and updates the streak. Callers hold f.mu.
+func (f *Faulty) allowFault(key string, fault bool) bool {
+	if f.streak == nil {
+		f.streak = make(map[string]int)
+	}
+	if fault && f.cfg.MaxConsecutive > 0 && f.streak[key] >= f.cfg.MaxConsecutive {
+		fault = false
+	}
+	if fault {
+		f.streak[key]++
+	} else {
+		f.streak[key] = 0
+	}
+	return fault
+}
+
+// FailNextWrites schedules the next n writes of name to fail transiently.
+func (f *Faulty) FailNextWrites(name string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.nextWrites == nil {
+		f.nextWrites = make(map[string]int)
+	}
+	f.nextWrites[name] = n
+}
+
+// FailNextOpens schedules the next n opens of name to fail transiently.
+func (f *Faulty) FailNextOpens(name string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.nextOpens == nil {
+		f.nextOpens = make(map[string]int)
+	}
+	f.nextOpens[name] = n
+}
+
+// FailWritesPermanently marks name so every write of it fails.
+func (f *Faulty) FailWritesPermanently(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.FailWrites == nil {
+		f.FailWrites = make(map[string]bool)
+	}
+	f.FailWrites[name] = true
+}
+
+// FailOpensPermanently marks name so every open of it fails.
+func (f *Faulty) FailOpensPermanently(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.FailOpens == nil {
+		f.FailOpens = make(map[string]bool)
+	}
+	f.FailOpens[name] = true
+}
+
+// Injected returns the number of faults injected so far (all kinds,
+// including silent bit flips).
+func (f *Faulty) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// WriteFile implements Storage.
+func (f *Faulty) WriteFile(name string, data []byte) error {
+	f.mu.Lock()
+	if f.FailWrites[name] {
+		f.injected++
+		f.mu.Unlock()
+		return fmt.Errorf("%w: write %s", ErrInjected, name)
+	}
+	if n := f.nextWrites[name]; n > 0 {
+		f.nextWrites[name] = n - 1
+		f.injected++
+		f.mu.Unlock()
+		return Transient(fmt.Errorf("%w: write %s", ErrInjected, name))
+	}
+	torn := f.allowFault("torn:"+name, f.roll(f.cfg.TornWriteProb))
+	fail := torn
+	if !torn {
+		fail = f.allowFault("write:"+name, f.roll(f.cfg.WriteFailProb))
+	}
+	var prefix int
+	if torn && len(data) > 0 {
+		prefix = f.gen().Intn(len(data))
+	}
+	if fail {
+		f.injected++
+	}
+	f.mu.Unlock()
+
+	if torn {
+		// Persist a prefix so the damaged state is visible to readers
+		// that race the retry, then report the failure.
+		f.Storage.WriteFile(name, data[:prefix])
+		return Transient(fmt.Errorf("%w: torn write %s (%d of %d bytes)", ErrInjected, name, prefix, len(data)))
+	}
+	if fail {
+		return Transient(fmt.Errorf("%w: write %s", ErrInjected, name))
+	}
+	return f.Storage.WriteFile(name, data)
+}
+
+// Open implements Storage.
+func (f *Faulty) Open(name string) (File, error) {
+	f.mu.Lock()
+	if f.FailOpens[name] {
+		f.injected++
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: open %s", ErrInjected, name)
+	}
+	if n := f.nextOpens[name]; n > 0 {
+		f.nextOpens[name] = n - 1
+		f.injected++
+		f.mu.Unlock()
+		return nil, Transient(fmt.Errorf("%w: open %s", ErrInjected, name))
+	}
+	fail := f.allowFault("open:"+name, f.roll(f.cfg.OpenFailProb))
+	if fail {
+		f.injected++
+	}
+	f.mu.Unlock()
+	if fail {
+		return nil, Transient(fmt.Errorf("%w: open %s", ErrInjected, name))
+	}
+	h, err := f.Storage.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.cfg.ReadFailProb > 0 || f.cfg.BitFlipProb > 0 {
+		return &faultyFile{File: h, f: f, name: name}, nil
+	}
+	return h, nil
+}
+
+// faultyFile injects read faults and silent bit flips.
+type faultyFile struct {
+	File
+	f    *Faulty
+	name string
+}
+
+func (ff *faultyFile) ReadAt(p []byte, off int64) (int, error) {
+	f := ff.f
+	f.mu.Lock()
+	fail := f.allowFault("read:"+ff.name, f.roll(f.cfg.ReadFailProb))
+	flip := !fail && f.roll(f.cfg.BitFlipProb)
+	var flipAt int
+	var flipBit uint
+	if flip && len(p) > 0 {
+		flipAt = f.gen().Intn(len(p))
+		flipBit = uint(f.gen().Intn(8))
+	}
+	if fail || flip {
+		f.injected++
+	}
+	f.mu.Unlock()
+	if fail {
+		return 0, Transient(fmt.Errorf("%w: read %s at %d", ErrInjected, ff.name, off))
+	}
+	n, err := ff.File.ReadAt(p, off)
+	if flip && n > flipAt {
+		p[flipAt] ^= 1 << flipBit
+	}
+	return n, err
+}

@@ -166,23 +166,8 @@ func TestOSNoTmpLeftovers(t *testing.T) {
 	}
 }
 
-func TestFaulty(t *testing.T) {
-	f := &Faulty{
-		Storage:    NewMem(),
-		FailWrites: map[string]bool{"bad": true},
-		FailOpens:  map[string]bool{"sealed": true},
-	}
-	if err := f.WriteFile("bad", nil); err == nil {
-		t.Error("injected write should fail")
-	}
-	if err := f.WriteFile("good", []byte("x")); err != nil {
-		t.Errorf("clean write failed: %v", err)
-	}
-	f.WriteFile("sealed", []byte("y"))
-	if _, err := f.Open("sealed"); err == nil {
-		t.Error("injected open should fail")
-	}
-	if _, err := f.Open("good"); err != nil {
-		t.Errorf("clean open failed: %v", err)
-	}
+// writeRaw drops a file into a storage directory behind the OS backend's
+// back, for tests that simulate crashes.
+func writeRaw(dir, name string, data []byte) error {
+	return os.WriteFile(dir+"/"+name, data, 0o644)
 }

@@ -1,0 +1,132 @@
+package pfs
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryConfig controls the retry decorator. The zero value gets sensible
+// defaults: 4 attempts, 1 ms base delay doubling to a 100 ms cap, 50%
+// jitter, and IsTransient as the retryable-error classifier.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries per operation (the first
+	// attempt included).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it up to MaxDelay (exponential backoff).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+	// Jitter randomizes each delay downward by up to this fraction
+	// [0,1], decorrelating retries from concurrent aggregators so they
+	// do not hammer a recovering store in lockstep.
+	Jitter float64
+	// Seed makes the jitter sequence reproducible.
+	Seed int64
+	// Retryable classifies errors worth retrying; nil means IsTransient.
+	// Permanent failures surface immediately.
+	Retryable func(error) bool
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 100 * time.Millisecond
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.5
+	}
+	if c.Retryable == nil {
+		c.Retryable = IsTransient
+	}
+	return c
+}
+
+// Retry wraps a Storage so transient failures of writes, opens, and reads
+// are masked by seeded exponential backoff with jitter. Safe for
+// concurrent use.
+type Retry struct {
+	Storage
+	cfg     RetryConfig
+	mu      sync.Mutex
+	rng     *rand.Rand
+	retries atomic.Int64
+}
+
+// NewRetry wraps store with the given retry policy.
+func NewRetry(store Storage, cfg RetryConfig) *Retry {
+	cfg = cfg.withDefaults()
+	return &Retry{Storage: store, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Retries returns the number of retried operations so far.
+func (r *Retry) Retries() int64 { return r.retries.Load() }
+
+// delay computes the jittered backoff before retry attempt (0-based).
+func (r *Retry) delay(attempt int) time.Duration {
+	d := r.cfg.BaseDelay << uint(attempt)
+	if d > r.cfg.MaxDelay || d <= 0 {
+		d = r.cfg.MaxDelay
+	}
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	return d - time.Duration(float64(d)*r.cfg.Jitter*f)
+}
+
+// do runs op under the retry policy.
+func (r *Retry) do(op func() error) error {
+	var err error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.delay(attempt - 1))
+			r.retries.Add(1)
+		}
+		if err = op(); err == nil || !r.cfg.Retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// WriteFile implements Storage with retries.
+func (r *Retry) WriteFile(name string, data []byte) error {
+	return r.do(func() error { return r.Storage.WriteFile(name, data) })
+}
+
+// Open implements Storage with retries; the returned file retries
+// transient ReadAt failures under the same policy.
+func (r *Retry) Open(name string) (File, error) {
+	var f File
+	err := r.do(func() error {
+		var err error
+		f, err = r.Storage.Open(name)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{File: f, r: r}, nil
+}
+
+type retryFile struct {
+	File
+	r *Retry
+}
+
+func (f *retryFile) ReadAt(p []byte, off int64) (int, error) {
+	var n int
+	err := f.r.do(func() error {
+		var err error
+		n, err = f.File.ReadAt(p, off)
+		return err
+	})
+	return n, err
+}

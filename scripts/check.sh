@@ -12,4 +12,19 @@ go vet ./...
 echo "== go test -race ./internal/fabric/... ./internal/core/..."
 go test -race ./internal/fabric/... ./internal/core/...
 
+# The chaos suite injects storage faults into full 16-rank collectives;
+# running it under the race detector is the strongest deadlock/race signal
+# the repo has, so it gets its own invocation even though the package run
+# above already covered it once.
+echo "== go test -race -run TestChaos ./internal/core/"
+go test -race -run 'TestChaos' ./internal/core/
+
+# Short fuzz pass over both on-disk format parsers: seconds, not a soak —
+# enough to catch parser regressions on the corpus + fresh mutations.
+# (-fuzzminimizetime keeps a newly found interesting input from eating the
+# whole budget in minimization.)
+echo "== go fuzz (short): bat + meta decoders"
+go test -fuzz=FuzzDecode -fuzztime=10s -fuzzminimizetime=5x ./internal/bat/
+go test -fuzz=FuzzDecode -fuzztime=10s -fuzzminimizetime=5x ./internal/meta/
+
 echo "check.sh: OK"
