@@ -16,6 +16,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"libbat"
@@ -27,6 +28,7 @@ import (
 	"libbat/internal/bench"
 	"libbat/internal/cliutil"
 	"libbat/internal/mmapio"
+	"libbat/internal/obs"
 	"libbat/internal/perf"
 )
 
@@ -77,10 +79,22 @@ func main() {
 		visScale  = flag.Int64("vis-particles", 300_000, "particles for the materialized benchmarks")
 		statsOut  = flag.String("stats", "", "write telemetry from the materialized runs as JSON to this file")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event timeline of the materialized runs to this file")
+		jsonOut   = flag.String("json", "", "write machine-readable per-phase timings of the materialized runs to this file")
+		buildWkrs = flag.Int("build-workers", 0, "BAT build worker goroutines per aggregator (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *buildWkrs < 0 {
+		fmt.Fprintf(os.Stderr, "batbench: -build-workers must be >= 0, got %d\n", *buildWkrs)
+		os.Exit(2)
+	}
+	bench.BuildWorkers = *buildWkrs
 	obsFlags := cliutil.ObsFlags{StatsPath: *statsOut, TracePath: *traceOut}
-	if col := obsFlags.Collector(); col != nil {
+	col := obsFlags.Collector()
+	if col == nil && *jsonOut != "" {
+		// -json needs span telemetry even when -stats/-trace are off.
+		col = obs.New()
+	}
+	if col != nil {
 		bench.Observer = col
 		mmapio.SetCollector(col)
 	}
@@ -216,7 +230,14 @@ func main() {
 		runTable(2)
 	}
 	if bench.Observer != nil {
-		emit(phaseBreakdown(), nil)
+		phases := phaseAgg()
+		emit(phaseBreakdown(phases), nil)
+		if *jsonOut != "" {
+			if err := writePhaseJSON(*jsonOut, phases); err != nil {
+				fmt.Fprintln(os.Stderr, "batbench: writing phase timings:", err)
+				os.Exit(1)
+			}
+		}
 		if err := obsFlags.Dump(bench.Observer); err != nil {
 			fmt.Fprintln(os.Stderr, "batbench:", err)
 			os.Exit(1)
@@ -224,35 +245,66 @@ func main() {
 	}
 }
 
-// phaseBreakdown condenses the collector's spans into a per-phase table
-// (aggregated over ranks and runs) printed alongside the benchmark totals.
-func phaseBreakdown() *bench.Table {
+// phaseTiming is one aggregated phase row, as emitted by -json: phase name,
+// span count, and total/mean wall time in nanoseconds.
+type phaseTiming struct {
+	Phase   string `json:"phase"`
+	Spans   int64  `json:"spans"`
+	TotalNs int64  `json:"total_ns"`
+	MeanNs  int64  `json:"mean_ns"`
+}
+
+// phaseAgg condenses the collector's spans into per-phase totals
+// (aggregated over ranks and runs), in first-appearance order.
+func phaseAgg() []phaseTiming {
+	byPhase := map[string]int{}
+	var out []phaseTiming
+	for _, sp := range bench.Observer.Snapshot().Spans {
+		i, ok := byPhase[sp.Name]
+		if !ok {
+			i = len(out)
+			byPhase[sp.Name] = i
+			out = append(out, phaseTiming{Phase: sp.Name})
+		}
+		out[i].Spans += sp.Count
+		out[i].TotalNs += int64(sp.TotalNs)
+	}
+	for i := range out {
+		if out[i].Spans > 0 {
+			out[i].MeanNs = out[i].TotalNs / out[i].Spans
+		}
+	}
+	return out
+}
+
+// phaseBreakdown renders the aggregated phases as a table printed alongside
+// the benchmark totals.
+func phaseBreakdown(phases []phaseTiming) *bench.Table {
 	t := &bench.Table{
 		Title:  "Telemetry: per-phase time across all materialized runs",
 		Header: []string{"phase", "spans", "total", "mean"},
 	}
-	type agg struct {
-		count int64
-		total time.Duration
-	}
-	byPhase := map[string]*agg{}
-	var order []string
-	for _, sp := range bench.Observer.Snapshot().Spans {
-		a, ok := byPhase[sp.Name]
-		if !ok {
-			a = &agg{}
-			byPhase[sp.Name] = a
-			order = append(order, sp.Name)
-		}
-		a.count += sp.Count
-		a.total += sp.TotalNs
-	}
-	for _, name := range order {
-		a := byPhase[name]
-		t.AddRow(name, fmt.Sprintf("%d", a.count),
-			a.total.Round(time.Microsecond).String(),
-			(a.total / time.Duration(a.count)).Round(time.Microsecond).String())
+	for _, p := range phases {
+		t.AddRow(p.Phase, fmt.Sprintf("%d", p.Spans),
+			time.Duration(p.TotalNs).Round(time.Microsecond).String(),
+			time.Duration(p.MeanNs).Round(time.Microsecond).String())
 	}
 	t.Notes = append(t.Notes, "spans cover the full-fidelity (materialized) pipelines only; modeled runs have no telemetry")
 	return t
+}
+
+// writePhaseJSON emits the aggregated phase timings as a JSON array, the
+// machine-readable form the repo's benchmark trajectory accumulates.
+func writePhaseJSON(path string, phases []phaseTiming) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(fh)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(phases); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
 }

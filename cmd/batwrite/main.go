@@ -54,6 +54,7 @@ func main() {
 		base      = flag.String("name", "", "dataset base name (default <workload>-<step>)")
 		statsOut  = flag.String("stats", "", "write telemetry counters/histograms/spans as JSON to this file")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
+		buildWkrs = flag.Int("build-workers", 0, "BAT build worker goroutines per aggregator (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -79,6 +80,10 @@ func main() {
 	} else if *strategy != "adaptive" {
 		fail(fmt.Errorf("unknown strategy %q", *strategy))
 	}
+	if *buildWkrs < 0 {
+		fail(fmt.Errorf("-build-workers must be >= 0, got %d", *buildWkrs))
+	}
+	cfg.BAT.Workers = *buildWkrs
 	name := *base
 	if name == "" {
 		name = fmt.Sprintf("%s-%04d", w.Name(), *step)

@@ -1,0 +1,195 @@
+package bat
+
+import (
+	"math"
+
+	"libbat/internal/geom"
+	"libbat/internal/particles"
+)
+
+// buildArena is one treelet worker's reusable scratch memory. Every buffer
+// is sized to the largest treelet the worker has seen and reused across
+// treelets, so steady-state treelet construction allocates O(nodes) (node
+// records, bitmap backing, the BFS layout) instead of the O(n log n)
+// temporaries the per-node make() calls used to cost.
+//
+// An arena is owned by exactly one worker goroutine; nothing in it is
+// shared, and its contents never outlive the treelet being built.
+type buildArena struct {
+	coords []float64 // split-axis coordinate per partition element
+	sel    []float64 // quickselect scratch (mutated by the selection)
+	parts  []int     // stable three-way partition staging
+	lod    []int     // stratified-sample staging (LODPerNode picks)
+}
+
+// ensure grows the arena to hold a treelet of n particles sampling k LOD
+// picks per node.
+func (a *buildArena) ensure(n, k int) {
+	if cap(a.coords) < n {
+		a.coords = make([]float64, n)
+		a.sel = make([]float64, n)
+		a.parts = make([]int, n)
+	}
+	if cap(a.lod) < k {
+		a.lod = make([]int, k)
+	}
+}
+
+// axisSlice returns the raw coordinate array of one axis, so partitioning
+// reads a single float32 per particle instead of materializing a Vec3.
+func axisSlice(set *particles.Set, axis geom.Axis) []float32 {
+	switch axis {
+	case geom.X:
+		return set.X
+	case geom.Y:
+		return set.Y
+	default:
+		return set.Z
+	}
+}
+
+// tightBounds returns the tight bounding box of the given particles,
+// identical to folding geom.Box.Extend over their positions but touching
+// each coordinate array directly.
+func tightBounds(set *particles.Set, pts []int) geom.Box {
+	if len(pts) == 0 {
+		return geom.EmptyBox()
+	}
+	p0 := pts[0]
+	minX, maxX := set.X[p0], set.X[p0]
+	minY, maxY := set.Y[p0], set.Y[p0]
+	minZ, maxZ := set.Z[p0], set.Z[p0]
+	for _, p := range pts[1:] {
+		if v := set.X[p]; v < minX {
+			minX = v
+		} else if v > maxX {
+			maxX = v
+		}
+		if v := set.Y[p]; v < minY {
+			minY = v
+		} else if v > maxY {
+			maxY = v
+		}
+		if v := set.Z[p]; v < minZ {
+			minZ = v
+		} else if v > maxZ {
+			maxZ = v
+		}
+	}
+	return geom.NewBox(
+		geom.V3(float64(minX), float64(minY), float64(minZ)),
+		geom.V3(float64(maxX), float64(maxY), float64(maxZ)))
+}
+
+// stratifiedSampleInPlace picks k evenly spaced elements (the stratum
+// midpoints) from pts and rearranges pts in place so the remainder keeps
+// its order at the front and the picks sit at the tail:
+//
+//	pts = [ rest (input order) | lod (pick order) ]
+//
+// The pick positions are exactly those of the allocating version this
+// replaces; only the storage changed. Picks are strictly increasing (the
+// stride exceeds 1 whenever k < n), so a single forward compaction never
+// reads a slot it has already overwritten.
+func stratifiedSampleInPlace(pts []int, k int, a *buildArena) (lod, rest []int) {
+	n := len(pts)
+	if k >= n {
+		return pts, nil
+	}
+	lodBuf := a.lod[:k]
+	stride := float64(n) / float64(k)
+	w, next := 0, 0
+	for s := 0; s < k; s++ {
+		pick := int(stride*float64(s) + stride/2)
+		if pick >= n {
+			pick = n - 1
+		}
+		for i := next; i < pick; i++ {
+			pts[w] = pts[i]
+			w++
+		}
+		lodBuf[s] = pts[pick]
+		next = pick + 1
+	}
+	for i := next; i < n; i++ {
+		pts[w] = pts[i]
+		w++
+	}
+	copy(pts[w:], lodBuf)
+	return pts[w:], pts[:w]
+}
+
+// medianPartition rearranges rest so that rest[:mid] have coordinates
+// strictly below pos and rest[mid:] have coordinates >= pos, with both
+// sides nonempty, choosing pos at (or just above) the median coordinate
+// along axis. It reports ok=false when every coordinate is identical (no
+// split exists). The element order within each side follows the input
+// order, keeping builds deterministic. All scratch comes from the arena;
+// the call allocates nothing.
+func medianPartition(set *particles.Set, rest []int, axis geom.Axis, a *buildArena) (mid int, pos float64, ok bool) {
+	n := len(rest)
+	coords := a.coords[:n]
+	ax := axisSlice(set, axis)
+	for i, p := range rest {
+		coords[i] = float64(ax[p])
+	}
+	sel := a.sel[:n]
+	copy(sel, coords)
+	med := quickselect(sel, n/2)
+
+	// Count the three classes (and the smallest above-median value) first,
+	// then scatter stably into the staging buffer.
+	nLess, nEq := 0, 0
+	minGreater := math.Inf(1)
+	for _, c := range coords {
+		switch {
+		case c < med:
+			nLess++
+		case c > med:
+			if c < minGreater {
+				minGreater = c
+			}
+		default:
+			nEq++
+		}
+	}
+	tmp := a.parts[:n]
+	switch {
+	case nLess > 0:
+		// Split below the median value: less | equal+greater.
+		pos, mid = med, nLess
+		cl, ce, cg := 0, nLess, nLess+nEq
+		for i, p := range rest {
+			switch c := coords[i]; {
+			case c < med:
+				tmp[cl] = p
+				cl++
+			case c > med:
+				tmp[cg] = p
+				cg++
+			default:
+				tmp[ce] = p
+				ce++
+			}
+		}
+		copy(rest, tmp)
+		return mid, pos, true
+	case nLess+nEq < n:
+		// Median is the minimum: split at the next distinct value.
+		pos, mid = minGreater, nEq
+		ce, cg := 0, nEq
+		for i, p := range rest {
+			if coords[i] > med {
+				tmp[cg] = p
+				cg++
+			} else {
+				tmp[ce] = p
+				ce++
+			}
+		}
+		copy(rest, tmp)
+		return mid, pos, true
+	default:
+		return 0, 0, false
+	}
+}

@@ -483,11 +483,13 @@ func TestLODSpatialCoverage(t *testing.T) {
 }
 
 func TestStratifiedSample(t *testing.T) {
+	var a buildArena
+	a.ensure(100, 8)
 	pts := make([]int, 100)
 	for i := range pts {
 		pts[i] = i
 	}
-	lod, rest := stratifiedSample(pts, 8)
+	lod, rest := stratifiedSampleInPlace(pts, 8, &a)
 	if len(lod) != 8 || len(rest) != 92 {
 		t.Fatalf("sample sizes %d/%d", len(lod), len(rest))
 	}
@@ -509,7 +511,7 @@ func TestStratifiedSample(t *testing.T) {
 		t.Fatalf("lost points: %d", len(seen))
 	}
 	// k >= n returns everything as LOD.
-	lod, rest = stratifiedSample(pts[:5], 8)
+	lod, rest = stratifiedSampleInPlace(pts[:5], 8, &a)
 	if len(lod) != 5 || len(rest) != 0 {
 		t.Errorf("small input sample %d/%d", len(lod), len(rest))
 	}

@@ -13,13 +13,20 @@
 //
 // The compacted byte-buffer form (see format.go) is what aggregators write
 // to disk; treelets are 4 KB page aligned for memory-mapped access.
+//
+// The build runs as a parallel pipeline (chunked Morton encoding, a stable
+// parallel radix sort, fused treelet+bitmap workers over per-worker scratch
+// arenas, and a parallel payload compaction); every stage is deterministic,
+// so the output bytes are identical for any worker count, including the
+// fully serial path behind BuildConfig.Parallel=false.
 package bat
 
 import (
 	"fmt"
-	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"libbat/internal/bitmap"
 	"libbat/internal/geom"
@@ -47,8 +54,15 @@ type BuildConfig struct {
 	// MaxLeafSize is the maximum number of particles in a treelet leaf
 	// (paper evaluation: 128).
 	MaxLeafSize int
-	// Parallel enables concurrent treelet construction.
+	// Parallel enables the concurrent build pipeline. When false the
+	// whole build runs serially on the calling goroutine (the in-transit
+	// friendly mode); the output bytes are identical either way.
 	Parallel bool
+	// Workers caps the build's worker pool (Morton encoding, the radix
+	// sort, treelet construction, payload compaction). 0 means
+	// runtime.GOMAXPROCS(0); values below 0 are rejected. Ignored when
+	// Parallel is false.
+	Workers int
 	// QuantizePositions stores positions as 16-bit fixed point relative
 	// to each treelet's bounds (6 bytes per particle instead of 12),
 	// implementing the quantization extension the paper leaves as future
@@ -56,15 +70,25 @@ type BuildConfig struct {
 	// extent divided by 65536 per axis.
 	QuantizePositions bool
 	// Obs, when set, receives build telemetry (treelet counts, dictionary
-	// size, bitmap dedup hits). Nil disables it.
+	// size, bitmap dedup hits, and the bat_build_* phase spans). Nil
+	// disables it.
 	Obs *obs.Collector
+	// ObsRank labels the build's telemetry on multi-rank timelines (an
+	// aggregator passes its rank); purely observational.
+	ObsRank int
 }
 
 // DefaultBuildConfig returns the configuration used in the paper's
 // evaluation: 12-bit subprefixes, 8 LOD particles per inner node, up to 128
-// particles per leaf.
+// particles per leaf, built in parallel across all CPUs.
 func DefaultBuildConfig() BuildConfig {
-	return BuildConfig{SubprefixBits: 12, LODPerNode: 8, MaxLeafSize: 128, Parallel: true}
+	return BuildConfig{
+		SubprefixBits: 12,
+		LODPerNode:    8,
+		MaxLeafSize:   128,
+		Parallel:      true,
+		Workers:       runtime.GOMAXPROCS(0),
+	}
 }
 
 func (c BuildConfig) validate() error {
@@ -77,7 +101,22 @@ func (c BuildConfig) validate() error {
 	if c.MaxLeafSize < 1 {
 		return fmt.Errorf("bat: max leaf size must be >= 1, got %d", c.MaxLeafSize)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("bat: workers must be >= 0 (0 = GOMAXPROCS), got %d", c.Workers)
+	}
 	return nil
+}
+
+// effectiveWorkers resolves the worker-pool size: 1 when the build is
+// serial, the configured cap otherwise, defaulting to GOMAXPROCS.
+func (c BuildConfig) effectiveWorkers() int {
+	if !c.Parallel {
+		return 1
+	}
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // treeletNode is an in-memory treelet node prior to compaction.
@@ -86,7 +125,8 @@ type treeletNode struct {
 	pos         float64
 	left, right int32 // node indices within the treelet; unset for leaves
 	// pts are indices into the aggregator's particle set: the LOD samples
-	// for inner nodes, all contained particles for leaves.
+	// for inner nodes, all contained particles for leaves. They alias the
+	// build's sorted-order array, not arena memory.
 	pts     []int
 	bitmaps []bitmap.Bitmap // one per attribute
 	start   uint32          // particle range within the treelet, set at flatten
@@ -147,14 +187,25 @@ func (s BuildStats) OverheadFraction() float64 {
 	return float64(s.FileBytes-s.RawDataBytes) / float64(s.RawDataBytes)
 }
 
+// group is one shallow-tree leaf: the particles sharing a Morton subprefix,
+// as a contiguous range of the sorted order.
+type group struct {
+	code     morton.Code
+	from, to int // range in the sorted order
+}
+
 // Build constructs the compacted BAT over the particle set. domain is the
 // spatial region the Morton quantization is computed against (the
 // aggregation-tree leaf bounds); it must contain all particles.
+//
+// The build is deterministic: for a given set, domain, and layout options
+// the returned bytes are identical regardless of Parallel and Workers.
 func Build(set *particles.Set, domain geom.Box, cfg BuildConfig) (*Built, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	n := set.Len()
+	workers := cfg.effectiveWorkers()
 	if !cfg.FixedSubprefix {
 		// Shrink the subprefix until the average treelet holds a few
 		// dozen leaves' worth of particles: deep enough for useful LOD
@@ -167,34 +218,24 @@ func Build(set *particles.Set, domain geom.Box, cfg BuildConfig) (*Built, error)
 			cfg.SubprefixBits = 1
 		}
 	}
-	// Attribute local value ranges (the bitmap reference ranges).
-	ranges := make([]bitmap.Range, set.Schema.NumAttrs())
-	for a := range ranges {
-		ranges[a] = set.AttrRange(a)
-	}
+	col := cfg.Obs
 
-	// Step 1: Morton codes, sorted particle order.
-	codes := make([]morton.Code, n)
-	for i := 0; i < n; i++ {
-		codes[i] = morton.FromPoint(set.Position(i), domain)
-	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return codes[order[a]] < codes[order[b]] })
+	// Attribute local value ranges (the bitmap reference ranges), one
+	// independent scan per attribute.
+	ranges := attrRanges(set, workers)
+
+	// Step 1: Morton codes and the sorted particle order (stable, so the
+	// order is worker-count independent).
+	spSort := col.Start(cfg.ObsRank, "bat_build_sort")
+	sortedCodes, order := sortByMorton(set, domain, workers)
 
 	// Step 2: merge shared subprefixes into the shallow tree's leaf codes
 	// and record each group's contiguous range in the sorted order.
-	type group struct {
-		code     morton.Code
-		from, to int // range in `order`
-	}
 	var groups []group
 	for i := 0; i < n; {
-		sp := codes[order[i]].Subprefix(cfg.SubprefixBits)
+		sp := sortedCodes[i].Subprefix(cfg.SubprefixBits)
 		j := i + 1
-		for j < n && codes[order[j]].Subprefix(cfg.SubprefixBits) == sp {
+		for j < n && sortedCodes[j].Subprefix(cfg.SubprefixBits) == sp {
 			j++
 		}
 		groups = append(groups, group{code: sp, from: i, to: j})
@@ -204,49 +245,30 @@ func Build(set *particles.Set, domain geom.Box, cfg BuildConfig) (*Built, error)
 	for i, g := range groups {
 		leafCodes[i] = g.code
 	}
+	spSort.End()
+
+	spShallow := col.Start(cfg.ObsRank, "bat_build_shallow")
 	shallow := radix.Build(leafCodes)
+	spShallow.End()
 
-	// Step 3: independent treelet builds, one per shallow leaf.
-	treelets := make([]*treelet, len(groups))
-	buildOne := func(gi int) {
-		g := groups[gi]
-		t := buildTreelet(set, order[g.from:g.to], cfg)
-		t.prefix = g.code
-		treelets[gi] = t
-	}
-	if cfg.Parallel && len(groups) > 1 {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, 16)
-		for gi := range groups {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(gi int) {
-				defer wg.Done()
-				buildOne(gi)
-				<-sem
-			}(gi)
-		}
-		wg.Wait()
-	} else {
-		for gi := range groups {
-			buildOne(gi)
-		}
-	}
-
-	// Step 4: bitmaps bottom-up within each treelet.
-	for _, t := range treelets {
-		computeTreeletBitmaps(set, t, ranges)
-	}
+	// Steps 3+4 fused: each worker builds a treelet and computes its
+	// bottom-up bitmaps in the same task, reusing its own scratch arena.
+	spTreelets := col.Start(cfg.ObsRank, "bat_build_treelets")
+	treelets := buildTreelets(set, order, groups, cfg, ranges, workers)
+	spTreelets.End()
 
 	// Step 5: flatten the shallow radix tree and propagate bitmaps up it.
 	shallowNodes := flattenShallow(shallow, treelets, domain, cfg.SubprefixBits, set.Schema.NumAttrs())
 
-	// Step 6: compact everything into the file image.
-	built, err := compact(set, domain, cfg, ranges, shallowNodes, treelets)
+	// Step 6: compact everything into the file image, copying treelet
+	// payloads in parallel.
+	spCompact := col.Start(cfg.ObsRank, "bat_build_compact")
+	built, err := compact(set, domain, cfg, ranges, shallowNodes, treelets, workers)
+	spCompact.End()
 	if err != nil {
 		return nil, err
 	}
-	if col := cfg.Obs; col != nil {
+	if col != nil {
 		st := built.Stats
 		col.Add("bat_builds_total", 1)
 		col.Add("bat_particles_total", int64(st.NumParticles))
@@ -260,11 +282,98 @@ func Build(set *particles.Set, domain geom.Box, cfg BuildConfig) (*Built, error)
 	return built, nil
 }
 
+// attrRanges scans each attribute's value range, one attribute per task.
+func attrRanges(set *particles.Set, workers int) []bitmap.Range {
+	ranges := make([]bitmap.Range, set.Schema.NumAttrs())
+	if workers <= 1 || len(ranges) <= 1 {
+		for a := range ranges {
+			ranges[a] = set.AttrRange(a)
+		}
+		return ranges
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for a := range ranges {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(a int) {
+			defer wg.Done()
+			ranges[a] = set.AttrRange(a)
+			<-sem
+		}(a)
+	}
+	wg.Wait()
+	return ranges
+}
+
+// buildTreelets runs the fused treelet+bitmap stage: one task per shallow
+// leaf, scheduled largest-group-first across the worker pool so a huge
+// treelet picked up last cannot become a straggler tail. Results land in
+// input order, so the scheduling order never reaches the output.
+func buildTreelets(set *particles.Set, order []int, groups []group,
+	cfg BuildConfig, ranges []bitmap.Range, workers int) []*treelet {
+
+	treelets := make([]*treelet, len(groups))
+	task := func(gi int, a *buildArena) {
+		g := groups[gi]
+		t := buildTreelet(set, order[g.from:g.to], cfg, a)
+		t.prefix = g.code
+		computeTreeletBitmaps(set, t, ranges)
+		treelets[gi] = t
+	}
+	if workers <= 1 || len(groups) <= 1 {
+		var a buildArena
+		for gi := range groups {
+			task(gi, &a)
+		}
+		return treelets
+	}
+	sched := make([]int, len(groups))
+	for i := range sched {
+		sched[i] = i
+	}
+	sort.Slice(sched, func(a, b int) bool {
+		sa := groups[sched[a]].to - groups[sched[a]].from
+		sb := groups[sched[b]].to - groups[sched[b]].from
+		if sa != sb {
+			return sa > sb
+		}
+		return sched[a] < sched[b]
+	})
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var a buildArena
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sched) {
+					return
+				}
+				task(sched[i], &a)
+			}
+		}()
+	}
+	wg.Wait()
+	return treelets
+}
+
 // buildTreelet constructs a median-split k-d treelet over the particles in
 // idx (already sorted by Morton code, which stratified LOD sampling relies
-// on). idx is consumed.
-func buildTreelet(set *particles.Set, idx []int, cfg BuildConfig) *treelet {
+// on). idx is consumed: the build partitions it in place, and the treelet's
+// node particle lists alias it.
+func buildTreelet(set *particles.Set, idx []int, cfg BuildConfig, a *buildArena) *treelet {
 	t := &treelet{}
+	if len(idx) == 0 {
+		return t
+	}
+	a.ensure(len(idx), cfg.LODPerNode)
+	t.nodes = make([]treeletNode, 0, 2*(len(idx)/cfg.MaxLeafSize)+1)
 	// Build depth-first into the nodes slice, then reorder to BFS layout.
 	var build func(pts []int, depth int) int32
 	build = func(pts []int, depth int) int32 {
@@ -278,16 +387,13 @@ func buildTreelet(set *particles.Set, idx []int, cfg BuildConfig) *treelet {
 		}
 		// Stratified LOD sampling over the Morton-sorted points: one
 		// sample per stride keeps the subset spatially representative.
-		lod, rest := stratifiedSample(pts, cfg.LODPerNode)
+		lod, rest := stratifiedSampleInPlace(pts, cfg.LODPerNode, a)
 		// Median split along the longest axis of the point bounds; a full
 		// sort is unnecessary — quickselect the median coordinate and
 		// three-way partition around it (O(n) per level).
-		bounds := geom.EmptyBox()
-		for _, p := range rest {
-			bounds = bounds.Extend(set.Position(p))
-		}
+		bounds := tightBounds(set, rest)
 		axis := bounds.LongestAxis()
-		mid, pos, ok := medianPartition(set, rest, axis)
+		mid, pos, ok := medianPartition(set, rest, axis, a)
 		if !ok {
 			// Degenerate distribution (all points coincident on the
 			// axis): fall back to a leaf holding everything.
@@ -301,61 +407,9 @@ func buildTreelet(set *particles.Set, idx []int, cfg BuildConfig) *treelet {
 		t.nodes[me].right = r
 		return me
 	}
-	if len(idx) > 0 {
-		build(idx, 0)
-		t.reorderBFS()
-	}
+	build(idx, 0)
+	t.reorderBFS(len(idx))
 	return t
-}
-
-// medianPartition rearranges rest so that rest[:mid] have coordinates
-// strictly below pos and rest[mid:] have coordinates >= pos, with both
-// sides nonempty, choosing pos at (or just above) the median coordinate
-// along axis. It reports ok=false when every coordinate is identical (no
-// split exists). The element order within each side follows the input
-// order, keeping builds deterministic.
-func medianPartition(set *particles.Set, rest []int, axis geom.Axis) (mid int, pos float64, ok bool) {
-	n := len(rest)
-	coords := make([]float64, n)
-	for i, p := range rest {
-		coords[i] = set.Position(p).Component(axis)
-	}
-	med := quickselect(append([]float64(nil), coords...), n/2)
-	// Three-way partition by the median value, preserving input order.
-	less := make([]int, 0, n/2+1)
-	equal := make([]int, 0, 8)
-	greater := make([]int, 0, n/2+1)
-	minGreater := math.Inf(1)
-	for i, p := range rest {
-		switch c := coords[i]; {
-		case c < med:
-			less = append(less, p)
-		case c > med:
-			greater = append(greater, p)
-			if c < minGreater {
-				minGreater = c
-			}
-		default:
-			equal = append(equal, p)
-		}
-	}
-	switch {
-	case len(less) > 0:
-		// Split below the median value: less | equal+greater.
-		pos, mid = med, len(less)
-		copy(rest, less)
-		copy(rest[mid:], equal)
-		copy(rest[mid+len(equal):], greater)
-		return mid, pos, true
-	case len(greater) > 0:
-		// Median is the minimum: split at the next distinct value.
-		pos, mid = minGreater, len(equal)
-		copy(rest, equal)
-		copy(rest[mid:], greater)
-		return mid, pos, true
-	default:
-		return 0, 0, false
-	}
 }
 
 // quickselect returns the k-th smallest element of a (0-based), mutating a.
@@ -404,36 +458,11 @@ func quickselect(a []float64, k int) float64 {
 	return a[lo]
 }
 
-// stratifiedSample picks k evenly spaced elements (the stratum midpoints)
-// from pts, returning the samples and the remainder.
-func stratifiedSample(pts []int, k int) (lod, rest []int) {
-	n := len(pts)
-	if k >= n {
-		return pts, nil
-	}
-	lod = make([]int, 0, k)
-	rest = make([]int, 0, n-k)
-	stride := float64(n) / float64(k)
-	next := 0
-	for s := 0; s < k; s++ {
-		pick := int(stride*float64(s) + stride/2)
-		if pick >= n {
-			pick = n - 1
-		}
-		for i := next; i < pick; i++ {
-			rest = append(rest, pts[i])
-		}
-		lod = append(lod, pts[pick])
-		next = pick + 1
-	}
-	rest = append(rest, pts[next:]...)
-	return lod, rest
-}
-
 // reorderBFS relays the treelet's nodes out in breadth-first order and
 // assigns each node's particle range in that order, so a depth-limited
 // progressive read touches a prefix of the treelet's particle data.
-func (t *treelet) reorderBFS() {
+// numPts is the treelet's particle count, sizing the layout array exactly.
+func (t *treelet) reorderBFS(numPts int) {
 	if len(t.nodes) == 0 {
 		return
 	}
@@ -450,7 +479,7 @@ func (t *treelet) reorderBFS() {
 		remap[oldIdx] = int32(newIdx)
 	}
 	newNodes := make([]treeletNode, len(t.nodes))
-	var order []int
+	order := make([]int, 0, numPts)
 	for newIdx, oldIdx := range bfs {
 		n := t.nodes[oldIdx]
 		if n.axis != leafAxis {
@@ -467,17 +496,20 @@ func (t *treelet) reorderBFS() {
 
 // computeTreeletBitmaps fills per-node per-attribute bitmaps bottom-up:
 // leaves index their particles; inner nodes merge their children's bitmaps
-// with those of their own LOD particles (§III-C2).
+// with those of their own LOD particles (§III-C2). All node bitmap slices
+// share one backing array, a single allocation per treelet.
 func computeTreeletBitmaps(set *particles.Set, t *treelet, ranges []bitmap.Range) {
 	nA := set.Schema.NumAttrs()
+	backing := make([]bitmap.Bitmap, len(t.nodes)*nA)
 	// BFS order guarantees children follow parents; iterate in reverse.
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		n := &t.nodes[i]
-		n.bitmaps = make([]bitmap.Bitmap, nA)
+		n.bitmaps = backing[i*nA : (i+1)*nA : (i+1)*nA]
 		for a := 0; a < nA; a++ {
 			var b bitmap.Bitmap
+			vals := set.Attrs[a]
 			for _, p := range n.pts {
-				b |= bitmap.OfValue(set.Attrs[a][p], ranges[a])
+				b |= bitmap.OfValue(vals[p], ranges[a])
 			}
 			if n.axis != leafAxis {
 				b |= t.nodes[n.left].bitmaps[a] | t.nodes[n.right].bitmaps[a]

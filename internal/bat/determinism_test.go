@@ -1,0 +1,193 @@
+package bat
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"libbat/internal/geom"
+	"libbat/internal/particles"
+)
+
+// determinismCorpora builds the particle-set shapes the byte-identity
+// property is asserted over: seeded random, clustered, coincident-heavy
+// (maximal Morton-code ties), and small edge sizes.
+func determinismCorpora() []struct {
+	name   string
+	set    *particles.Set
+	domain geom.Box
+} {
+	domain := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	mk := func(name string, n int, gen func(r *rand.Rand, i int) (geom.Vec3, []float64)) struct {
+		name   string
+		set    *particles.Set
+		domain geom.Box
+	} {
+		r := rand.New(rand.NewSource(int64(len(name)) * 1013))
+		s := particles.NewSet(particles.NewSchema("a", "b"), n)
+		for i := 0; i < n; i++ {
+			p, attrs := gen(r, i)
+			s.Append(p, attrs)
+		}
+		return struct {
+			name   string
+			set    *particles.Set
+			domain geom.Box
+		}{name, s, domain}
+	}
+	uniform := func(r *rand.Rand, i int) (geom.Vec3, []float64) {
+		return geom.V3(r.Float64(), r.Float64(), r.Float64()), []float64{r.Float64(), float64(i)}
+	}
+	clustered := func(r *rand.Rand, i int) (geom.Vec3, []float64) {
+		cx, cy, cz := float64(i%4)*0.25+0.1, float64((i/4)%4)*0.25+0.1, 0.5
+		return geom.V3(cx+r.NormFloat64()*0.01, cy+r.NormFloat64()*0.01, cz+r.NormFloat64()*0.01),
+			[]float64{r.Float64() * 10, r.Float64()}
+	}
+	coincident := func(r *rand.Rand, i int) (geom.Vec3, []float64) {
+		// Eight distinct positions shared by thousands of particles:
+		// every treelet sees massive Morton ties and degenerate splits.
+		p := geom.V3(float64(i%2), float64((i/2)%2), float64((i/4)%2)).Scale(0.5)
+		return p, []float64{float64(i % 13), r.Float64()}
+	}
+	return []struct {
+		name   string
+		set    *particles.Set
+		domain geom.Box
+	}{
+		mk("uniform", 20000, uniform),
+		mk("clustered", 20000, clustered),
+		mk("coincident", 8000, coincident),
+		mk("tiny", 3, uniform),
+		mk("empty", 0, uniform),
+	}
+}
+
+// TestBuildDeterminism asserts the build's core format invariant: the
+// serial path (Parallel=false), a single-worker parallel build, and
+// multi-worker parallel builds all produce byte-identical images. Run
+// under -race by scripts/check.sh with Workers > 1 so the fused treelet
+// stage's sharing discipline is exercised, not assumed.
+func TestBuildDeterminism(t *testing.T) {
+	for _, c := range determinismCorpora() {
+		t.Run(c.name, func(t *testing.T) {
+			for _, quantize := range []bool{false, true} {
+				base := DefaultBuildConfig()
+				base.MaxLeafSize = 64
+				base.LODPerNode = 4
+				base.QuantizePositions = quantize
+
+				ref := base
+				ref.Parallel = false
+				want, err := Build(c.set, c.domain, ref)
+				if err != nil {
+					t.Fatalf("serial build: %v", err)
+				}
+
+				for _, workers := range []int{1, 2, 7, 0, runtime.GOMAXPROCS(0)} {
+					cfg := base
+					cfg.Parallel = true
+					cfg.Workers = workers
+					got, err := Build(c.set, c.domain, cfg)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					if !bytes.Equal(got.Buf, want.Buf) {
+						t.Fatalf("quantize=%v workers=%d: output differs from serial build (%d vs %d bytes)",
+							quantize, workers, len(got.Buf), len(want.Buf))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildDeterminismRepeated rebuilds the same input several times with
+// the full worker pool: scheduling noise must never reach the bytes.
+func TestBuildDeterminismRepeated(t *testing.T) {
+	c := determinismCorpora()[1] // clustered
+	cfg := DefaultBuildConfig()
+	cfg.MaxLeafSize = 32
+	var want []byte
+	for i := 0; i < 5; i++ {
+		b, err := Build(c.set, c.domain, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = b.Buf
+			continue
+		}
+		if !bytes.Equal(b.Buf, want) {
+			t.Fatalf("rebuild %d differs", i)
+		}
+	}
+}
+
+// TestBuildWorkersValidation pins the Workers knob contract: negatives are
+// rejected, zero means GOMAXPROCS.
+func TestBuildWorkersValidation(t *testing.T) {
+	s, domain := randomSet(100, 5)
+	cfg := DefaultBuildConfig()
+	cfg.Workers = -1
+	if _, err := Build(s, domain, cfg); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+	cfg.Workers = 0
+	if got := cfg.effectiveWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers=0 resolved to %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	cfg.Parallel = false
+	cfg.Workers = 8
+	if got := cfg.effectiveWorkers(); got != 1 {
+		t.Fatalf("serial build resolved to %d workers, want 1", got)
+	}
+}
+
+// TestBuildReadBackAfterParallelBuild sanity-checks that a multi-worker
+// build round-trips through the reader (guards against a determinism test
+// that only compares two equally wrong buffers).
+func TestBuildReadBackAfterParallelBuild(t *testing.T) {
+	for _, c := range determinismCorpora()[:3] {
+		cfg := DefaultBuildConfig()
+		cfg.Workers = 4
+		b, err := Build(c.set, c.domain, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		f, err := FromBuffer(b.Buf)
+		if err != nil {
+			t.Fatalf("%s: decoding: %v", c.name, err)
+		}
+		got, err := f.ReadAll()
+		if err != nil {
+			t.Fatalf("%s: read: %v", c.name, err)
+		}
+		if got.Len() != c.set.Len() {
+			t.Fatalf("%s: read %d particles, wrote %d", c.name, got.Len(), c.set.Len())
+		}
+		// The read-back set is a reordering of the input; compare each
+		// attribute column as a sorted multiset so order drops out.
+		for a := 0; a < 2; a++ {
+			wantVals := append([]float64(nil), c.set.Attrs[a]...)
+			gotVals := append([]float64(nil), got.Attrs[a]...)
+			sort.Float64s(wantVals)
+			sort.Float64s(gotVals)
+			for i := range wantVals {
+				if wantVals[i] != gotVals[i] {
+					t.Fatalf("%s: attr %d multiset mismatch at %d: %v != %v",
+						c.name, a, i, gotVals[i], wantVals[i])
+				}
+			}
+		}
+	}
+}
+
+func ExampleBuildConfig_workers() {
+	cfg := DefaultBuildConfig()
+	cfg.Workers = 2 // cap the build pool regardless of GOMAXPROCS
+	fmt.Println(cfg.effectiveWorkers())
+	// Output: 2
+}

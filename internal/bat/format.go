@@ -43,6 +43,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"libbat/internal/bitmap"
 	"libbat/internal/checksum"
@@ -66,21 +69,43 @@ const (
 	flagQuantized = 1 << 0
 )
 
-// writer is a little-endian append buffer.
-type writer struct{ buf []byte }
+// writer is a little-endian positional writer over a preallocated buffer.
+// The file image is laid out size-first (every section offset is computed
+// before a byte is written), so disjoint sections — the header and each
+// page-aligned treelet — can be filled concurrently by workers holding
+// independent writers over the same backing array.
+type writer struct {
+	buf []byte
+	pos int
+}
 
-func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
-func (w *writer) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
-func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
-func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
-func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) u8(v uint8) {
+	w.buf[w.pos] = v
+	w.pos++
+}
+func (w *writer) u16(v uint16) {
+	binary.LittleEndian.PutUint16(w.buf[w.pos:], v)
+	w.pos += 2
+}
+func (w *writer) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[w.pos:], v)
+	w.pos += 4
+}
+func (w *writer) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[w.pos:], v)
+	w.pos += 8
+}
+func (w *writer) i32(v int32) { w.u32(uint32(v)) }
 func (w *writer) f32(v float32) {
 	w.u32(math.Float32bits(v))
 }
 func (w *writer) f64(v float64) {
 	w.u64(math.Float64bits(v))
 }
-func (w *writer) bytes(b []byte) { w.buf = append(w.buf, b...) }
+func (w *writer) bytes(b []byte) {
+	copy(w.buf[w.pos:], b)
+	w.pos += len(b)
+}
 func (w *writer) box(b geom.Box) {
 	w.f64(b.Lower.X)
 	w.f64(b.Lower.Y)
@@ -88,18 +113,6 @@ func (w *writer) box(b geom.Box) {
 	w.f64(b.Upper.X)
 	w.f64(b.Upper.Y)
 	w.f64(b.Upper.Z)
-}
-
-// padTo pads the buffer with zeros to the given alignment and returns the
-// number of padding bytes added.
-func (w *writer) padTo(align int) int {
-	rem := len(w.buf) % align
-	if rem == 0 {
-		return 0
-	}
-	pad := align - rem
-	w.buf = append(w.buf, make([]byte, pad)...)
-	return pad
 }
 
 // treeletNodeBytes is the per-node record size excluding bitmap IDs.
@@ -114,9 +127,14 @@ const shallowLeafBytes = 8 + 4 + 4 + 4 + 48
 
 // compact assembles the file image: header + shallow tree + dictionary up
 // front, then page-aligned treelets (paper §III-C3). Bitmaps are interned
-// into the dictionary here, serializing the per-treelet results.
+// into the dictionary serially (ID assignment is first-use order, a format
+// invariant); the per-treelet bounds scans, payload copies, and section
+// CRCs then run across the worker pool, largest treelet first. Every
+// section's extent is precomputed, so workers write disjoint byte ranges
+// and the image is identical for any worker count.
 func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
-	ranges []bitmap.Range, shallowNodes []builtShallowNode, treelets []*treelet) (*Built, error) {
+	ranges []bitmap.Range, shallowNodes []builtShallowNode, treelets []*treelet,
+	workers int) (*Built, error) {
 
 	nA := set.Schema.NumAttrs()
 	dict := bitmap.NewDictionary()
@@ -184,16 +202,6 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 		bppFile += a.Type.Size()
 	}
 
-	// Tight per-treelet point bounds (the quantization frame, and useful
-	// metadata regardless).
-	tBounds := make([]geom.Box, len(treelets))
-	for ti, t := range treelets {
-		b := geom.EmptyBox()
-		for _, p := range t.order {
-			b = b.Extend(set.Position(p))
-		}
-		tBounds[ti] = b
-	}
 	offsets := make([]uint64, len(treelets))
 	sizes := make([]uint32, len(treelets))
 	off := int64(headerSize)
@@ -215,61 +223,20 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 		off += int64(sz)
 	}
 
-	w := &writer{buf: make([]byte, 0, off)}
-	// Header.
-	w.bytes([]byte(magic))
-	w.u32(version)
-	w.u32(flags)
-	w.u64(uint64(set.Len()))
-	w.box(domain)
-	w.u32(uint32(cfg.SubprefixBits))
-	w.u32(uint32(cfg.LODPerNode))
-	w.u32(uint32(cfg.MaxLeafSize))
-	w.u32(uint32(maxDepth))
-	w.u32(uint32(nA))
-	for a, desc := range set.Schema.Attrs {
-		w.u16(uint16(len(desc.Name)))
-		w.bytes([]byte(desc.Name))
-		w.u8(uint8(desc.Type))
-		r := ranges[a]
-		w.f64(r.Min)
-		w.f64(r.Max)
-	}
-	w.u32(uint32(len(shallowNodes)))
-	w.u32(uint32(len(treelets)))
-	for i, n := range shallowNodes {
-		w.u8(uint8(n.axis))
-		w.f64(n.pos)
-		w.i32(n.left)
-		w.i32(n.right)
-		for _, id := range shallowIDs[i] {
-			w.u16(uint16(id))
-		}
-	}
-	for ti, t := range treelets {
-		w.u64(offsets[ti])
-		w.u32(sizes[ti])
-		w.u32(uint32(len(t.nodes)))
-		w.u32(uint32(len(t.order)))
-		w.box(tBounds[ti])
-		for _, id := range rootIDs[ti] {
-			w.u16(uint16(id))
-		}
-	}
-	w.u32(uint32(dict.Len()))
-	for _, e := range dict.Entries() {
-		w.u32(uint32(e))
-	}
-	if len(w.buf) != headerSize {
-		return nil, fmt.Errorf("bat: header layout error: wrote %d bytes, computed %d", len(w.buf), headerSize)
-	}
+	// The whole image, padding pre-zeroed, with room for the footer.
+	footerLen := footerFixedLen + 4*len(treelets)
+	buf := make([]byte, off+int64(footerLen))
 
-	// Treelets.
-	for ti, t := range treelets {
-		w.padTo(PageSize)
-		if uint64(len(w.buf)) != offsets[ti] {
-			return nil, fmt.Errorf("bat: treelet %d offset error: at %d, computed %d", ti, len(w.buf), offsets[ti])
-		}
+	// Fill the treelet sections: bounds scan, node records, payload
+	// gather, and the section CRC for the footer. Each task touches only
+	// buf[offsets[ti]:offsets[ti]+sizes[ti]].
+	tBounds := make([]geom.Box, len(treelets))
+	crcs := make([]uint32, len(treelets))
+	fillErrs := make([]error, len(treelets))
+	fillTreelet := func(ti int) {
+		t := treelets[ti]
+		tBounds[ti] = tightBounds(set, t.order)
+		w := &writer{buf: buf, pos: int(offsets[ti])}
 		w.u32(uint32(len(t.nodes)))
 		w.u32(uint32(len(t.order)))
 		for ni, n := range t.nodes {
@@ -320,27 +287,132 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 			}
 		}
 		for a, desc := range set.Schema.Attrs {
-			for _, p := range t.order {
-				if desc.Type == particles.Float32 {
-					w.f32(float32(set.Attrs[a][p]))
-				} else {
-					w.f64(set.Attrs[a][p])
+			vals := set.Attrs[a]
+			if desc.Type == particles.Float32 {
+				for _, p := range t.order {
+					w.f32(float32(vals[p]))
+				}
+			} else {
+				for _, p := range t.order {
+					w.f64(vals[p])
 				}
 			}
 		}
+		if w.pos != int(offsets[ti])+int(sizes[ti]) {
+			fillErrs[ti] = fmt.Errorf("bat: treelet %d layout error: wrote %d bytes, computed %d",
+				ti, w.pos-int(offsets[ti]), sizes[ti])
+			return
+		}
+		crcs[ti] = checksum.CRC32C(buf[offsets[ti] : offsets[ti]+uint64(sizes[ti])])
+	}
+	if workers <= 1 || len(treelets) <= 1 {
+		for ti := range treelets {
+			fillTreelet(ti)
+		}
+	} else {
+		// Largest section first, so one big payload copy scheduled late
+		// cannot stretch the stage.
+		sched := make([]int, len(treelets))
+		for i := range sched {
+			sched[i] = i
+		}
+		sort.Slice(sched, func(a, b int) bool {
+			if sizes[sched[a]] != sizes[sched[b]] {
+				return sizes[sched[a]] > sizes[sched[b]]
+			}
+			return sched[a] < sched[b]
+		})
+		nw := workers
+		if nw > len(treelets) {
+			nw = len(treelets)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < nw; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(sched) {
+						return
+					}
+					fillTreelet(sched[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range fillErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Header (depends on the treelet bounds, so written after the fill).
+	w := &writer{buf: buf}
+	w.bytes([]byte(magic))
+	w.u32(version)
+	w.u32(flags)
+	w.u64(uint64(set.Len()))
+	w.box(domain)
+	w.u32(uint32(cfg.SubprefixBits))
+	w.u32(uint32(cfg.LODPerNode))
+	w.u32(uint32(cfg.MaxLeafSize))
+	w.u32(uint32(maxDepth))
+	w.u32(uint32(nA))
+	for a, desc := range set.Schema.Attrs {
+		w.u16(uint16(len(desc.Name)))
+		w.bytes([]byte(desc.Name))
+		w.u8(uint8(desc.Type))
+		r := ranges[a]
+		w.f64(r.Min)
+		w.f64(r.Max)
+	}
+	w.u32(uint32(len(shallowNodes)))
+	w.u32(uint32(len(treelets)))
+	for i, n := range shallowNodes {
+		w.u8(uint8(n.axis))
+		w.f64(n.pos)
+		w.i32(n.left)
+		w.i32(n.right)
+		for _, id := range shallowIDs[i] {
+			w.u16(uint16(id))
+		}
+	}
+	for ti, t := range treelets {
+		w.u64(offsets[ti])
+		w.u32(sizes[ti])
+		w.u32(uint32(len(t.nodes)))
+		w.u32(uint32(len(t.order)))
+		w.box(tBounds[ti])
+		for _, id := range rootIDs[ti] {
+			w.u16(uint16(id))
+		}
+	}
+	w.u32(uint32(dict.Len()))
+	for _, e := range dict.Entries() {
+		w.u32(uint32(e))
+	}
+	if w.pos != headerSize {
+		return nil, fmt.Errorf("bat: header layout error: wrote %d bytes, computed %d", w.pos, headerSize)
 	}
 
 	// Checksum footer: header CRC plus one CRC per treelet section, then
 	// a CRC over the footer itself so its own corruption is detected.
-	footerStart := len(w.buf)
-	w.u32(checksum.CRC32C(w.buf[:headerSize]))
+	footerStart := int(off)
+	w.pos = footerStart
+	w.u32(checksum.CRC32C(buf[:headerSize]))
 	w.u32(uint32(len(treelets)))
 	for ti := range treelets {
-		w.u32(checksum.CRC32C(w.buf[offsets[ti] : offsets[ti]+uint64(sizes[ti])]))
+		w.u32(crcs[ti])
 	}
-	w.u32(checksum.CRC32C(w.buf[footerStart:]))
-	w.u32(uint32(len(w.buf) - footerStart + 8))
+	w.u32(checksum.CRC32C(buf[footerStart:w.pos]))
+	w.u32(uint32(w.pos - footerStart + 8))
 	w.bytes([]byte(footerMagic))
+	if w.pos != len(buf) {
+		return nil, fmt.Errorf("bat: footer layout error: ended at %d of %d bytes", w.pos, len(buf))
+	}
 
 	stats := BuildStats{
 		NumParticles:    set.Len(),
@@ -350,9 +422,9 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 		MaxTreeletDepth: maxDepth,
 		DictEntries:     dict.Len(),
 		BitmapsInterned: interned,
-		FileBytes:       int64(len(w.buf)),
+		FileBytes:       int64(len(buf)),
 		RawDataBytes:    int64(set.Len()) * int64(set.Schema.BytesPerParticle()),
 		PaddingBytes:    padding,
 	}
-	return &Built{Buf: w.buf, Stats: stats}, nil
+	return &Built{Buf: buf, Stats: stats}, nil
 }

@@ -1,0 +1,54 @@
+// Stage 1 of the build pipeline: Morton-encode every particle and produce
+// the Morton-sorted particle order. Both halves are chunked across the
+// build's worker pool; the sort is the stable radix sort from
+// internal/radix, so the resulting order is a pure function of the input
+// (ties between coincident particles keep their input order) and the
+// pipeline output cannot depend on the worker count.
+package bat
+
+import (
+	"sync"
+
+	"libbat/internal/geom"
+	"libbat/internal/morton"
+	"libbat/internal/particles"
+	"libbat/internal/radix"
+)
+
+// encodeSerialCutoff is the particle count below which forking goroutines
+// for the encode costs more than the encode itself.
+const encodeSerialCutoff = 1 << 14
+
+// sortByMorton returns the particles' Morton codes in sorted order together
+// with the matching particle order: sortedCodes[i] is the code of particle
+// order[i], and sortedCodes is ascending with ties in input order.
+func sortByMorton(set *particles.Set, domain geom.Box, workers int) (sortedCodes []morton.Code, order []int) {
+	n := set.Len()
+	codes := make([]morton.Code, n)
+	order = make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+
+	if workers <= 1 || n < encodeSerialCutoff {
+		morton.FromPoints(codes, set.X, set.Y, set.Z, domain)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				morton.FromPoints(codes[lo:hi], set.X[lo:hi], set.Y[lo:hi], set.Z[lo:hi], domain)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	radix.SortPairs(codes, order, workers)
+	return codes, order
+}

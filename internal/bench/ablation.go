@@ -146,7 +146,11 @@ func AblateBitmapDictionary(particles int) (*Table, error) {
 	}
 	cb.SetGrowth(0, 1, int64(particles), int64(particles))
 	set := cb.Generate(0, heaviestRank(cb, 0))
-	built, err := bat.Build(set, cb.Decomp().Domain, bat.DefaultBuildConfig())
+	bcfg := bat.DefaultBuildConfig()
+	if BuildWorkers != 0 {
+		bcfg.Workers = BuildWorkers
+	}
+	built, err := bat.Build(set, cb.Decomp().Domain, bcfg)
 	if err != nil {
 		return nil, err
 	}

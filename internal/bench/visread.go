@@ -22,6 +22,10 @@ import (
 // and per-rank breakdown alongside the tables. Nil (default) disables it.
 var Observer *obs.Collector
 
+// BuildWorkers, when nonzero, overrides the BAT build worker-pool size of
+// every materialized pipeline run (batbench's -build-workers flag).
+var BuildWorkers int
+
 // WriteDataset writes one workload timestep through the full two-phase
 // pipeline (real goroutine ranks, real BAT files) into store, attaching
 // the package Observer if one is set.
@@ -35,6 +39,9 @@ func WriteDataset(w workloads.Workload, step int, store pfs.Storage, base string
 func WriteDatasetObserved(w workloads.Workload, step int, store pfs.Storage, base string,
 	cfg core.WriteConfig, col *obs.Collector) (*core.WriteStats, error) {
 
+	if BuildWorkers != 0 {
+		cfg.BAT.Workers = BuildWorkers
+	}
 	n := w.Decomp().NumRanks()
 	store = pfs.Observe(store, col)
 	f := fabric.New(n)

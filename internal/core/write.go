@@ -377,6 +377,9 @@ func writeBody(c *fabric.Comm, store pfs.Storage, base string, local *particles.
 		if bcfg.Obs == nil {
 			bcfg.Obs = c.Observer()
 		}
+		// Label the build's bat_build_* spans with the aggregator's rank
+		// so the per-rank trace shows which aggregator spent the time.
+		bcfg.ObsRank = c.Rank()
 		layout = batLayout{cfg: bcfg}
 	}
 

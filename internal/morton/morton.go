@@ -78,6 +78,38 @@ func FromPoint(p geom.Vec3, bounds geom.Box) Code {
 	return Encode(x, y, z)
 }
 
+// FromPoints encodes the points given as parallel single-precision
+// coordinate arrays (the particle container's native layout) into dst,
+// which must be at least as long as the coordinate slices. It produces
+// exactly the codes FromPoint would, without constructing a Vec3 per
+// particle, and is safe to call concurrently on disjoint sub-ranges:
+//
+//	FromPoints(dst[lo:hi], xs[lo:hi], ys[lo:hi], zs[lo:hi], bounds)
+func FromPoints(dst []Code, xs, ys, zs []float32, bounds geom.Box) {
+	lower, size := bounds.Lower, bounds.Size()
+	q := func(v float64, lo, extent float64) uint64 {
+		if extent <= 0 {
+			return 0
+		}
+		// Same normalize-then-scale arithmetic as Quantize, so the
+		// rounding (and therefore the code) is bit-identical.
+		n := (v - lo) / extent
+		if n <= 0 {
+			return 0
+		}
+		if n >= 1 {
+			return MaxCoord
+		}
+		return uint64(n * (MaxCoord + 1))
+	}
+	for i := range xs {
+		x := q(float64(xs[i]), lower.X, size.X)
+		y := q(float64(ys[i]), lower.Y, size.Y)
+		z := q(float64(zs[i]), lower.Z, size.Z)
+		dst[i] = Code(spread3(x) | spread3(y)<<1 | spread3(z)<<2)
+	}
+}
+
 // Subprefix returns the top `bits` bits of the code, right-aligned. This is
 // the key merged by the shallow-tree construction: particles sharing a
 // subprefix fall in the same coarse spatial cell.

@@ -185,3 +185,36 @@ func BenchmarkDecode(b *testing.B) {
 	}
 	_ = sx
 }
+
+func TestFromPointsMatchesFromPoint(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	boxes := []geom.Box{
+		geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1)),
+		geom.NewBox(geom.V3(-3, 2, 0.5), geom.V3(9, 2.5, 100)),
+		// Degenerate Y axis.
+		geom.NewBox(geom.V3(0, 5, 0), geom.V3(1, 5, 1)),
+	}
+	for _, bounds := range boxes {
+		n := 2000
+		xs := make([]float32, n)
+		ys := make([]float32, n)
+		zs := make([]float32, n)
+		sz := bounds.Size()
+		for i := 0; i < n; i++ {
+			// Include out-of-bounds and boundary points.
+			xs[i] = float32(bounds.Lower.X + (r.Float64()*1.4-0.2)*sz.X)
+			ys[i] = float32(bounds.Lower.Y + (r.Float64()*1.4-0.2)*(sz.Y+1))
+			zs[i] = float32(bounds.Lower.Z + (r.Float64()*1.4-0.2)*sz.Z)
+		}
+		xs[0], ys[0], zs[0] = float32(bounds.Lower.X), float32(bounds.Lower.Y), float32(bounds.Lower.Z)
+		xs[1], ys[1], zs[1] = float32(bounds.Upper.X), float32(bounds.Upper.Y), float32(bounds.Upper.Z)
+		got := make([]Code, n)
+		FromPoints(got, xs, ys, zs, bounds)
+		for i := 0; i < n; i++ {
+			want := FromPoint(geom.V3(float64(xs[i]), float64(ys[i]), float64(zs[i])), bounds)
+			if got[i] != want {
+				t.Fatalf("bounds %v point %d: FromPoints %x != FromPoint %x", bounds, i, got[i], want)
+			}
+		}
+	}
+}

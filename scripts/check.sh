@@ -19,6 +19,18 @@ go test -race ./internal/fabric/... ./internal/core/...
 echo "== go test -race -run TestChaos ./internal/core/"
 go test -race -run 'TestChaos' ./internal/core/
 
+# The BAT build byte-identity property (serial path vs every worker count)
+# under the race detector, with GOMAXPROCS forced above 1 so the fused
+# treelet/bitmap workers and the parallel compact stage actually interleave
+# even on single-core CI runners.
+echo "== go test -race -run TestBuildDeterminism ./internal/bat/"
+GOMAXPROCS=4 go test -race -run 'TestBuildDeterminism' ./internal/bat/
+
+# Bench smoke: one iteration of every BAT build benchmark, just to keep the
+# benchmark code compiling and runnable (no timing assertions).
+echo "== bench smoke: BenchmarkBATBuild"
+go test -run=NONE -bench=BATBuild -benchtime=1x ./internal/bat/
+
 # Short fuzz pass over both on-disk format parsers: seconds, not a soak —
 # enough to catch parser regressions on the corpus + fresh mutations.
 # (-fuzzminimizetime keeps a newly found interesting input from eating the
