@@ -51,7 +51,9 @@ func main() {
 	if _, err := mf.ReadAt(buf, 0); err != nil && err != io.EOF {
 		fail(err)
 	}
-	mf.Close()
+	if err := mf.Close(); err != nil {
+		fail(err)
+	}
 	if *verify {
 		if !verifyDataset(os.Stdout, store, *name, buf) {
 			os.Exit(1)
@@ -117,12 +119,16 @@ func verifyDataset(w io.Writer, store pfs.Storage, name string, metaBuf []byte) 
 		f, err := bat.Decode(fh, fh.Size())
 		if err != nil {
 			bad(lm.FileName, err)
-			fh.Close()
+			if cerr := fh.Close(); cerr != nil {
+				bad(lm.FileName, cerr)
+			}
 			continue
 		}
 		if !f.Checksummed() {
 			fmt.Fprintf(w, "skip  %-28s version %d file has no checksums\n", lm.FileName, f.Version)
-			fh.Close()
+			if cerr := fh.Close(); cerr != nil {
+				bad(lm.FileName, cerr)
+			}
 			continue
 		}
 		if err := f.Verify(); err != nil {
@@ -133,7 +139,9 @@ func verifyDataset(w io.Writer, store pfs.Storage, name string, metaBuf []byte) 
 			fmt.Fprintf(w, "ok    %-28s %d treelets, %d particles\n",
 				lm.FileName, f.NumTreelets(), f.NumParticles)
 		}
-		fh.Close()
+		if cerr := fh.Close(); cerr != nil {
+			bad(lm.FileName, cerr)
+		}
 	}
 	return ok
 }
@@ -173,7 +181,6 @@ func inspectLeaf(store pfs.Storage, lm meta.LeafMeta, fail func(error)) {
 	if err != nil {
 		fail(err)
 	}
-	defer fh.Close()
 	f, err := bat.Decode(fh, fh.Size())
 	if err != nil {
 		fail(err)
@@ -190,5 +197,8 @@ func inspectLeaf(store pfs.Storage, lm meta.LeafMeta, fail func(error)) {
 	fmt.Printf("  local attribute ranges:\n")
 	for a, d := range f.Schema.Attrs {
 		fmt.Printf("    %-12s [%g, %g]\n", d.Name, f.Ranges[a].Min, f.Ranges[a].Max)
+	}
+	if err := fh.Close(); err != nil {
+		fail(err)
 	}
 }

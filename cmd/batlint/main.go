@@ -1,0 +1,192 @@
+// Batlint runs the repo's custom static-analysis suite (internal/analyzers)
+// over Go packages and reports invariant violations.
+//
+// Standalone:
+//
+//	go run ./cmd/batlint ./...          # whole repo (the CI gate)
+//	go run ./cmd/batlint -list          # describe the analyzers
+//	go run ./cmd/batlint -spanpair=false ./internal/core/...
+//
+// As a go vet tool (the unitchecker protocol — go vet loads packages and
+// hands each unit to the tool as a .cfg file):
+//
+//	go build -o /tmp/batlint ./cmd/batlint
+//	go vet -vettool=/tmp/batlint ./...
+//
+// Exit status: 0 clean, 1 on internal errors (load/type-check failures),
+// 2 when findings were reported. Findings are suppressed only by an
+// auditable //batlint:ignore <analyzer> <justification> comment; see
+// README.md and DESIGN.md §9.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"libbat/internal/analyzers"
+	"libbat/internal/analyzers/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet probes the tool before using it: -V=full for a tool ID,
+	// -flags for the analyzer flags it may forward. Both come alone.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(runVetUnit(args[0]))
+		}
+	}
+	os.Exit(runStandalone(args))
+}
+
+// printVersion implements the -V=full handshake: the go command derives a
+// tool ID from "<progname> version ... buildID=<content hash>".
+func printVersion() {
+	progname := os.Args[0]
+	h := sha256.New()
+	if f, err := os.Open(progname); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%x\n", filepath.Base(progname), h.Sum(nil)[:24])
+}
+
+// runStandalone loads packages with `go list -export` and runs the suite.
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("batlint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: batlint [flags] [packages]\n\n")
+		fs.PrintDefaults()
+	}
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	suite := analyzers.All()
+	enabled := map[string]*bool{}
+	for _, a := range suite {
+		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	var active []*analysis.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	pkgs, err := analysis.Load("", fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batlint:", err)
+		return 1
+	}
+	findings, err := analysis.Run(pkgs, active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batlint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "batlint: %d finding(s)\n", len(findings))
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the subset of the go vet unit config batlint consumes.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one go vet unit of work: type-check the unit's files
+// against the export data the go command already built, run the suite, and
+// write the (empty — batlint exports no facts) .vetx file the protocol
+// requires.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "batlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "batlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// go vet also hands over test units ("pkg [pkg.test]"); batlint's
+	// invariants govern shipped code only — tests seed math/rand and drop
+	// cleanup errors deliberately — matching the standalone loader, which
+	// analyzes GoFiles and never sees test files.
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			return 0
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := analysis.TypeCheck(token.NewFileSet(), cfg.ImportPath, cfg.GoFiles, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "batlint:", err)
+		return 1
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, analyzers.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batlint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Waivers: a finding is suppressed by a directive comment
+//
+//	//batlint:ignore <analyzer> <justification>
+//
+// placed either at the end of the flagged line or on its own line
+// immediately above. The justification is mandatory — a bare
+// //batlint:ignore is itself reported — so every suppression in the tree
+// records why the invariant does not apply (the audit trail DESIGN.md §9
+// describes). <analyzer> may be a comma-separated list.
+const waiverPrefix = "batlint:ignore"
+
+type waiver struct {
+	analyzers []string
+	reason    string
+	line      int
+	used      bool
+}
+
+// applyWaivers filters one package's findings through its waiver comments.
+// Malformed directives (no analyzer name or no justification) become
+// findings themselves, attributed to the pseudo-analyzer "waiver". ran
+// holds the analyzers that actually executed: staleness is only judged for
+// waivers naming at least one of them, so disabling an analyzer on the
+// command line does not mark its waivers stale.
+func applyWaivers(pkg *Package, diags []Finding, ran map[string]bool) []Finding {
+	// file name -> waivers in that file
+	waivers := map[string][]*waiver{}
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					out = append(out, Finding{
+						Analyzer: "waiver",
+						Pos:      pos,
+						Message:  "//batlint:ignore needs an analyzer name and a justification: //batlint:ignore <analyzer> <why>",
+					})
+					continue
+				}
+				w := &waiver{
+					analyzers: strings.Split(fields[0], ","),
+					reason:    strings.Join(fields[1:], " "),
+					line:      pos.Line,
+				}
+				waivers[pos.Filename] = append(waivers[pos.Filename], w)
+			}
+		}
+	}
+	for _, d := range diags {
+		if w := matchWaiver(waivers[d.Pos.Filename], d); w != nil {
+			w.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	// An unmatched waiver is stale: the finding it excused is gone, so the
+	// justification no longer documents anything. Surfacing it keeps the
+	// audit trail honest.
+	for file, ws := range waivers {
+		for _, w := range ws {
+			ranAny := false
+			for _, a := range w.analyzers {
+				if ran[a] {
+					ranAny = true
+				}
+			}
+			if !w.used && ranAny {
+				out = append(out, Finding{
+					Analyzer: "waiver",
+					Pos:      positionOnLine(pkg, file, w.line),
+					Message:  "stale //batlint:ignore: no " + strings.Join(w.analyzers, ",") + " finding on this or the next line",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// directiveText returns the payload after //batlint:ignore, reporting ok
+// only for comments that are the directive.
+func directiveText(c *ast.Comment) (string, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, waiverPrefix) {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(text, waiverPrefix)), true
+}
+
+// matchWaiver finds a waiver covering the finding: same analyzer, same file,
+// on the finding's line or the line above it.
+func matchWaiver(ws []*waiver, d Finding) *waiver {
+	for _, w := range ws {
+		if w.line != d.Pos.Line && w.line != d.Pos.Line-1 {
+			continue
+		}
+		for _, a := range w.analyzers {
+			if a == d.Analyzer {
+				return w
+			}
+		}
+	}
+	return nil
+}
+
+// positionOnLine synthesizes a Position for a line in file (waiver comments
+// do not retain their token.Pos once collected).
+func positionOnLine(pkg *Package, file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: 1}
+}

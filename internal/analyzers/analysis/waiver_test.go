@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// waiverSrc exercises every waiver shape against a dummy analyzer that
+// flags each function declaration.
+const waiverSrc = `package w
+
+func a() int { return 1 } //batlint:ignore dummy covered by a same-line waiver
+
+//batlint:ignore dummy covered by a line-above waiver
+func b() int { return 2 }
+
+func c() int { return 3 } //batlint:ignore othercheck names a different analyzer
+
+func d() int { return 4 } //batlint:ignore
+
+//batlint:ignore dummy stale: nothing on this or the next line is flagged
+
+//batlint:ignore disabledcheck not stale: its analyzer did not run
+`
+
+func TestWaivers(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", waiverSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("w", fset, []*ast.File{f}, &types.Info{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "w", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: &types.Info{}}
+
+	dummy := &Analyzer{
+		Name: "dummy",
+		Doc:  "flags every function declaration",
+		Run: func(pass *Pass) error {
+			for _, file := range pass.Files {
+				for _, d := range file.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "flagged %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+
+	findings, err := Run([]*Package{pkg}, []*Analyzer{dummy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for _, fd := range findings {
+		got = append(got, fd.Analyzer+": "+fd.Message)
+	}
+	want := []string{
+		// a and b are suppressed by valid waivers; c's waiver names the
+		// wrong analyzer and d's has no analyzer at all, so both survive.
+		"dummy: flagged c",
+		"dummy: flagged d",
+		// d's bare directive is malformed.
+		"waiver: //batlint:ignore needs an analyzer name and a justification",
+		// The dummy waiver with no matching finding is stale; the
+		// disabledcheck one is ignored because that analyzer never ran.
+		"waiver: stale //batlint:ignore: no dummy finding",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i, w := range want {
+		if !strings.HasPrefix(got[i], w) {
+			t.Errorf("finding %d = %q, want prefix %q", i, got[i], w)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package analysistest runs an analyzer over golden fixture packages under
+// a testdata/src tree and checks its diagnostics against `// want`
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	off := int(binary.LittleEndian.Uint64(buf)) // want `unchecked conversion`
+//
+// Each want comment holds one or more quoted or backquoted regexps; every
+// diagnostic on that line must match one expectation and every expectation
+// must be matched. Fixture packages may import each other by relative path
+// under testdata/src (GOPATH-style); all other imports resolve to the real
+// standard library via compiler export data. Diagnostics pass through the
+// same //batlint:ignore waiver filter as cmd/batlint, so fixtures exercise
+// waivers too.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"libbat/internal/analyzers/analysis"
+)
+
+// Run loads each fixture package (a path relative to srcRoot, typically
+// "testdata/src"), runs a over it, and reports mismatches against the
+// fixtures' want comments through t.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	pkgs, err := loadFixtures(srcRoot, pkgPaths)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, pkgs, findings)
+}
+
+// want is one expectation: a regexp that must match a diagnostic message
+// on its line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRE extracts the quoted/backquoted patterns of a want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// checkWants matches findings against // want comments, failing the test
+// for unexpected or missing diagnostics.
+func checkWants(t *testing.T, pkgs []*analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, tok := range wantRE.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+						pat := tok
+						if pat[0] == '"' {
+							var err error
+							if pat, err = strconv.Unquote(tok); err != nil {
+								t.Errorf("%s: bad want pattern %s: %v", pos, tok, err)
+								continue
+							}
+						} else {
+							pat = strings.Trim(pat, "`")
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s: bad want regexp %s: %v", pos, tok, err)
+							continue
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// loadFixtures parses and type-checks the fixture packages plus their
+// fixture-local imports, resolving everything else to the standard
+// library's export data.
+func loadFixtures(srcRoot string, pkgPaths []string) ([]*analysis.Package, error) {
+	root, err := filepath.Abs(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		root:   root,
+		fset:   fset,
+		parsed: map[string][]*ast.File{},
+		types:  map[string]*types.Package{},
+	}
+	// Parse the requested packages and every reachable fixture-local
+	// import, collecting the external (stdlib) imports on the way.
+	std := map[string]bool{}
+	queue := append([]string(nil), pkgPaths...)
+	seen := map[string]bool{}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		files, err := ld.parse(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if ld.isLocal(path) {
+					queue = append(queue, path)
+				} else {
+					std[path] = true
+				}
+			}
+		}
+	}
+	if err := ld.loadStdExports(std); err != nil {
+		return nil, err
+	}
+	var pkgs []*analysis.Package
+	for _, p := range pkgPaths {
+		pkg, err := ld.check(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// fixtureLoader type-checks fixture packages recursively.
+type fixtureLoader struct {
+	root    string
+	fset    *token.FileSet
+	parsed  map[string][]*ast.File
+	types   map[string]*types.Package
+	exports map[string]string // stdlib import path -> export data file
+	imp     types.Importer    // gc importer over exports
+	pkgs    map[string]*analysis.Package
+}
+
+func (l *fixtureLoader) isLocal(path string) bool {
+	st, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+func (l *fixtureLoader) parse(path string) ([]*ast.File, error) {
+	if fs, ok := l.parsed[path]; ok {
+		return fs, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no Go files in %s", path, dir)
+	}
+	l.parsed[path] = files
+	return files, nil
+}
+
+// loadStdExports resolves the external imports to compiler export data in
+// one `go list -export` invocation.
+func (l *fixtureLoader) loadStdExports(paths map[string]bool) error {
+	l.exports = map[string]string{}
+	if len(paths) > 0 {
+		args := []string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}
+		sorted := make([]string, 0, len(paths))
+		for p := range paths {
+			sorted = append(sorted, p)
+		}
+		sort.Strings(sorted)
+		cmd := exec.Command("go", append(args, sorted...)...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go list -export: %w\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return err
+			}
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", lookup)
+	l.pkgs = map[string]*analysis.Package{}
+	return nil
+}
+
+// Import implements types.Importer over the fixture tree + stdlib.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if tp, ok := l.types[path]; ok {
+		return tp, nil
+	}
+	if !l.isLocal(path) {
+		return l.imp.Import(path)
+	}
+	pkg, err := l.check(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// check type-checks one fixture package (memoized).
+func (l *fixtureLoader) check(path string) (*analysis.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	files, err := l.parse(path)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tp, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	l.types[path] = tp
+	pkg := &analysis.Package{Path: path, Fset: l.fset, Files: files, Types: tp, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

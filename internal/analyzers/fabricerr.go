@@ -1,0 +1,149 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"libbat/internal/analyzers/analysis"
+)
+
+// fabricErrPkgs is where dropped fabric/pfs errors are collective poison:
+// the write/read pipelines (core), the layout builder they drive (bat),
+// and the CLIs (cmd/*). An unchecked storage or fabric error there either
+// corrupts a dataset silently or desynchronizes the error-agreement
+// collective that DESIGN.md §7 builds the fault-tolerance story on.
+var fabricErrPkgs = []string{"core", "bat", "cmd"}
+
+// FabricErr requires every error returned by a fabric.* or pfs.* call in
+// those packages to be consumed: not dropped as a bare statement, not
+// discarded with `_ =`, and not thrown away by defer/go. Cleanup-path
+// closes whose error genuinely cannot matter take a
+// //batlint:ignore fabricerr waiver stating why.
+var FabricErr = &analysis.Analyzer{
+	Name: "fabricerr",
+	Doc: "in core, bat, and cmd/*, every error-returning fabric.*/pfs.* call must have its error " +
+		"consumed: no bare calls, no _ = discards, no defer/go drops",
+	Run: runFabricErr,
+}
+
+func runFabricErr(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), fabricErrPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := fabricErrCall(pass.TypesInfo, call); ok {
+						pass.Reportf(n.Pos(),
+							"%s returns an error that is silently dropped: a lost fabric/pfs error corrupts the collective; handle it or waive with //batlint:ignore fabricerr <why>", name)
+					}
+				}
+			case *ast.DeferStmt:
+				if name, ok := fabricErrCall(pass.TypesInfo, n.Call); ok {
+					pass.Reportf(n.Pos(),
+						"defer %s discards its error: close/cleanup failures vanish; capture it (named return) or waive with //batlint:ignore fabricerr <why>", name)
+				}
+			case *ast.GoStmt:
+				if name, ok := fabricErrCall(pass.TypesInfo, n.Call); ok {
+					pass.Reportf(n.Pos(),
+						"go %s discards its error: route it back through a channel or errgroup-style collector", name)
+				}
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankErrAssign flags `_ = call()` (and multi-value forms) where the
+// blank identifier lands on the error result of a fabric/pfs call.
+func checkBlankErrAssign(pass *analysis.Pass, asg *ast.AssignStmt) {
+	if len(asg.Rhs) != 1 {
+		return
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := fabricErrCall(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	sig, ok := pass.TypesInfo.Types[call].Type.(*types.Tuple)
+	if !ok {
+		// Single result: the call's type is the error itself.
+		if len(asg.Lhs) == 1 && isBlank(asg.Lhs[0]) {
+			pass.Reportf(asg.Pos(), "error of %s assigned to _: handle it or waive with //batlint:ignore fabricerr <why>", name)
+		}
+		return
+	}
+	for i := 0; i < sig.Len() && i < len(asg.Lhs); i++ {
+		if isErrorType(sig.At(i).Type()) && isBlank(asg.Lhs[i]) {
+			pass.Reportf(asg.Pos(), "error of %s assigned to _: handle it or waive with //batlint:ignore fabricerr <why>", name)
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// fabricErrCall reports whether call statically resolves to a fabric or
+// pfs function (package-level or method) with an error among its results,
+// returning a human-readable callee name. A method counts when either the
+// method itself or the receiver's declared type lives in fabric/pfs: the
+// pfs.File interface embeds io.Closer, so f.Close() resolves to io's Close
+// and only the receiver type betrays that it is a storage handle.
+func fabricErrCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false // builtins and universe methods (error.Error)
+	}
+	name := fn.Pkg().Name() + "." + fn.Name()
+	scoped := inScope(pkgPathOf(fn), "fabric", "pfs")
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok {
+			name = typeShortName(s.Recv()) + "." + fn.Name()
+			if named := namedOf(s.Recv()); named != nil && named.Obj().Pkg() != nil &&
+				inScope(named.Obj().Pkg().Path(), "fabric", "pfs") {
+				scoped = true
+			}
+		}
+	}
+	if !scoped {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	hasErr := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			hasErr = true
+		}
+	}
+	if !hasErr {
+		return "", false
+	}
+	return name, true
+}
+
+// namedOf unwraps a pointer and returns the named type underneath, if any.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeShortName renders a receiver type compactly (File, *Comm, Storage).
+func typeShortName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return "" })
+}

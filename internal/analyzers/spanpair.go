@@ -1,0 +1,330 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"libbat/internal/analyzers/analysis"
+)
+
+// SpanPair checks that every obs span opened in a function is closed on
+// every path out of it: either a `defer sp.End()` right after the start,
+// or an explicit sp.End() before each return (and before falling off the
+// end). An unclosed span never reaches the collector — the phase simply
+// vanishes from the trace, which is exactly the failure mode that makes
+// per-rank timelines misleading during an incident.
+//
+// The walker is a structural abstract interpretation of the function body:
+// branches fork the open/closed state and merge conservatively (open if
+// open on any incoming arm), loops are analyzed as zero-or-more iterations.
+// A span that escapes the function (returned, passed along, stored) is the
+// callee's responsibility and is skipped.
+var SpanPair = &analysis.Analyzer{
+	Name: "spanpair",
+	Doc: "every obs span started in a function must be ended on all paths " +
+		"(defer sp.End() or an explicit End before each return)",
+	Run: runSpanPair,
+}
+
+func runSpanPair(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Each function body — declarations and literals alike — is its
+		// own analysis scope; spanStarts skips nested literals so a start
+		// is checked exactly once, against its innermost function.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				for _, st := range spanStarts(pass, body) {
+					checkSpan(pass, body, st)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spanStart is one `sp := col.Start(...)` site inside a function body.
+type spanStart struct {
+	assign *ast.AssignStmt
+	obj    types.Object // the span variable; nil when assigned to _
+	call   *ast.CallExpr
+}
+
+// spanStarts finds the obs span starts directly inside body (not in nested
+// function literals).
+func spanStarts(pass *analysis.Pass, body *ast.BlockStmt) []spanStart {
+	var out []spanStart
+	inspectShallow(body, func(n ast.Node) {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 || len(asg.Lhs) != 1 {
+			return
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok || !isObsStart(pass.TypesInfo, call) {
+			return
+		}
+		lhs, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		if lhs.Name == "_" {
+			pass.Reportf(asg.Pos(), "obs span started and immediately discarded: it can never be ended, so it never reaches the trace")
+			return
+		}
+		obj := pass.TypesInfo.Defs[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[lhs]
+		}
+		if obj != nil {
+			out = append(out, spanStart{assign: asg, obj: obj, call: call})
+		}
+	})
+	return out
+}
+
+// isObsStart reports whether call invokes an obs-package function named
+// Start (the span constructor).
+func isObsStart(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == "Start" && inScope(pkgPathOf(fn), "obs")
+}
+
+// checkSpan verifies one span start against its enclosing function body.
+func checkSpan(pass *analysis.Pass, body *ast.BlockStmt, st spanStart) {
+	if escapes(pass, body, st) {
+		return
+	}
+	c := &spanChecker{pass: pass, st: st, reported: map[token.Pos]bool{}}
+	end := c.walkStmts(body.List, spanState{})
+	if end.open && !end.deferred {
+		pass.Reportf(st.assign.Pos(),
+			"obs span %q is not ended before the function returns: add defer %s.End() or End it on every path",
+			spanName(st.call), st.obj.Name())
+	}
+}
+
+// escapes reports whether the span variable is used for anything other
+// than starting and ending the span — returned, reassigned elsewhere,
+// passed as an argument, captured by a non-defer closure. Such spans are
+// owned by someone else and not checked here.
+func escapes(pass *analysis.Pass, body *ast.BlockStmt, st spanStart) bool {
+	allowed := map[*ast.Ident]bool{}
+	if id, ok := st.assign.Lhs[0].(*ast.Ident); ok {
+		allowed[id] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == st.obj {
+					allowed[id] = true
+				}
+			}
+		}
+		return true
+	})
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || allowed[id] {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == st.obj || pass.TypesInfo.Defs[id] == st.obj {
+			escaped = true
+		}
+		return true
+	})
+	return escaped
+}
+
+// spanState is the abstract state threaded through the walker.
+type spanState struct {
+	open     bool // span started and not yet ended on this path
+	deferred bool // a defer guarantees End runs on every exit
+}
+
+type spanChecker struct {
+	pass     *analysis.Pass
+	st       spanStart
+	reported map[token.Pos]bool
+}
+
+func (c *spanChecker) walkStmts(stmts []ast.Stmt, st spanState) spanState {
+	for _, s := range stmts {
+		st = c.walkStmt(s, st)
+	}
+	return st
+}
+
+func (c *spanChecker) walkStmt(s ast.Stmt, st spanState) spanState {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s == c.st.assign {
+			st.open = true
+		}
+	case *ast.ExprStmt:
+		if c.isEndCall(s.X) {
+			st.open = false
+		}
+	case *ast.DeferStmt:
+		if c.isEndCall(s.Call) || c.deferClosureEnds(s) {
+			st.deferred = true
+		}
+	case *ast.ReturnStmt:
+		if st.open && !st.deferred && !c.reported[s.Pos()] {
+			c.reported[s.Pos()] = true
+			c.pass.Reportf(s.Pos(),
+				"return leaves obs span %q (started at line %d) unended on this path: End it before returning or defer the End",
+				spanName(c.st.call), c.pass.Fset.Position(c.st.assign.Pos()).Line)
+		}
+	case *ast.BlockStmt:
+		st = c.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		st = c.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = c.walkStmt(s.Init, st)
+		}
+		then := c.walkStmts(s.Body.List, st)
+		els := st
+		if s.Else != nil {
+			els = c.walkStmt(s.Else, st)
+		}
+		st = mergeStates(then, els)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = c.walkStmt(s.Init, st)
+		}
+		// Zero-or-more iterations: the loop body cannot be relied on to
+		// close the span, but returns inside it are still checked.
+		out := c.walkStmts(s.Body.List, st)
+		st = mergeStates(st, out)
+	case *ast.RangeStmt:
+		out := c.walkStmts(s.Body.List, st)
+		st = mergeStates(st, out)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		st = c.walkClauses(s, st)
+	}
+	return st
+}
+
+// walkClauses handles switch/type-switch/select: each clause forks from
+// the incoming state; a missing default keeps the fall-through arm.
+func (c *spanChecker) walkClauses(s ast.Stmt, st spanState) spanState {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = c.walkStmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = c.walkStmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	merged := spanState{deferred: true} // identity for merge
+	any := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+			if cl.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cl.Body
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+		}
+		out := c.walkStmts(stmts, st)
+		if !any {
+			merged, any = out, true
+		} else {
+			merged = mergeStates(merged, out)
+		}
+	}
+	if !any {
+		return st
+	}
+	if !hasDefault {
+		merged = mergeStates(merged, st)
+	}
+	return merged
+}
+
+// mergeStates joins two control-flow arms conservatively: the span is open
+// if either arm leaves it open; the defer only counts if both arms
+// registered it.
+func mergeStates(a, b spanState) spanState {
+	return spanState{open: a.open || b.open, deferred: a.deferred && b.deferred}
+}
+
+// isEndCall matches `<spanvar>.End()` for the tracked span variable.
+func (c *spanChecker) isEndCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && c.pass.TypesInfo.Uses[id] == c.st.obj
+}
+
+// deferClosureEnds matches `defer func() { ... sp.End() ... }()`.
+func (c *spanChecker) deferClosureEnds(d *ast.DeferStmt) bool {
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && c.isEndCall(e) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// spanName extracts the span's name literal for messages ("span" when the
+// name is not a literal).
+func spanName(call *ast.CallExpr) string {
+	for _, a := range call.Args {
+		if lit, ok := a.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			return strings.Trim(lit.Value, `"`)
+		}
+	}
+	return "span"
+}
+
+// inspectShallow visits nodes in n but does not descend into nested
+// function literals (their bodies are separate analysis scopes).
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m != nil {
+			fn(m)
+		}
+		return true
+	})
+}

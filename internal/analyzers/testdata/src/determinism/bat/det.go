@@ -1,0 +1,40 @@
+// Package bat is a determinism fixture: the BAT build-pipeline scope, where
+// wall-clock reads and map-order iteration make output bytes run-dependent.
+package bat
+
+import (
+	"sort"
+	"time"
+)
+
+func stampNow() int64 {
+	return time.Now().UnixNano() // want `time\.Now in the deterministic build pipeline`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in the deterministic build pipeline`
+}
+
+// flatten feeds output bytes straight from map order.
+func flatten(m map[uint64][]byte) []byte {
+	var out []byte
+	for _, v := range m { // want `map iteration in the deterministic build pipeline`
+		out = append(out, v...)
+	}
+	return out
+}
+
+// flattenSorted is the approved idiom: collect the keys, sort them, range
+// the sorted slice.
+func flattenSorted(m map[uint64][]byte) []byte {
+	var keys []uint64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []byte
+	for _, k := range keys {
+		out = append(out, m[k]...)
+	}
+	return out
+}

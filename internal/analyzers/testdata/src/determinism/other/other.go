@@ -1,0 +1,15 @@
+// Package other is outside the determinism scope: wall-clock reads and map
+// iteration are fine here.
+package other
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

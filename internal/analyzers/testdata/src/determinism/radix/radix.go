@@ -1,0 +1,9 @@
+// Package radix is in the determinism scope: the sort under the BAT build
+// must be bit-reproducible, so math/rand is banned at the import.
+package radix
+
+import "math/rand" // want `import of math/rand in the deterministic build pipeline`
+
+func shuffle(xs []uint64) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

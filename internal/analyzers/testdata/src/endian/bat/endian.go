@@ -1,0 +1,49 @@
+// Package bat is an endian fixture: its import path element "bat" puts it
+// in the on-disk format scope, so every byte order but the literal
+// binary.LittleEndian is a finding.
+package bat
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+type header struct {
+	Magic uint32
+	Count uint64
+}
+
+// encodeLittle is the approved shape: direct LittleEndian methods.
+func encodeLittle(buf []byte, h header) {
+	binary.LittleEndian.PutUint32(buf, h.Magic)
+	binary.LittleEndian.PutUint64(buf[4:], h.Count)
+}
+
+func encodeBig(buf []byte, h header) {
+	binary.BigEndian.PutUint32(buf, h.Magic) // want `binary.BigEndian in an on-disk format package`
+}
+
+func encodeNative(buf []byte, h header) {
+	binary.NativeEndian.PutUint64(buf, h.Count) // want `binary.NativeEndian in an on-disk format package`
+}
+
+// writeVar routes the byte order through a parameter: the declaration and
+// the indirect Write are separate findings.
+func writeVar(w io.Writer, order binary.ByteOrder, h header) error { // want `binary.ByteOrder declaration in an on-disk format package`
+	return binary.Write(w, order, h) // want `binary.Write with a byte order that is not the literal binary.LittleEndian`
+}
+
+func writeLittle(w io.Writer, h header) error {
+	return binary.Write(w, binary.LittleEndian, h)
+}
+
+func readBig(r io.Reader, h *header) error {
+	return binary.Read(r, binary.BigEndian, h) // want `binary.BigEndian in an on-disk format package`
+}
+
+// decodeHostOrder shows the auditable escape hatch: the waiver on the line
+// above suppresses the NativeEndian finding.
+func decodeHostOrder(buf []byte) uint64 {
+	//batlint:ignore endian test-only helper comparing decode against host order
+	return binary.NativeEndian.Uint64(buf)
+}

@@ -1,0 +1,10 @@
+// Package other is outside the endian scope (no format-package path
+// element), so its BigEndian use is not a finding.
+package other
+
+import "encoding/binary"
+
+// Checksum may legitimately use network byte order here.
+func Checksum(buf []byte) uint32 {
+	return binary.BigEndian.Uint32(buf)
+}

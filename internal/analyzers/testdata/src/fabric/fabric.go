@@ -1,0 +1,14 @@
+// Package fabric is a fixture stub: it mirrors the error-returning surface
+// of the real fabric package so the fabricerr analyzer tests resolve calls
+// through a package whose import path ends in "fabric".
+package fabric
+
+// Comm stands in for a rank-to-rank communicator.
+type Comm struct{}
+
+func (c *Comm) Send(rank int, p []byte) error        { return nil }
+func (c *Comm) Recv(rank int, p []byte) (int, error) { return 0, nil }
+func (c *Comm) Close() error                         { return nil }
+
+// Barrier is a package-level error-returning call site.
+func Barrier(c *Comm) error { return nil }

@@ -1,0 +1,63 @@
+// Package core is a fabricerr fixture: the "core" path element is in
+// scope, and every way of dropping a fabric/pfs error is represented.
+package core
+
+import (
+	"fabric"
+	"pfs"
+)
+
+func bareCall(c *fabric.Comm, p []byte) {
+	c.Send(0, p) // want `\*Comm\.Send returns an error that is silently dropped`
+}
+
+func barePackageLevel(c *fabric.Comm) {
+	fabric.Barrier(c) // want `fabric\.Barrier returns an error that is silently dropped`
+}
+
+func blankAssign(f *pfs.File) {
+	_ = f.Close() // want `error of \*File\.Close assigned to _`
+}
+
+func blankTuple(f *pfs.File, p []byte) int {
+	n, _ := f.ReadAt(p, 0) // want `error of \*File\.ReadAt assigned to _`
+	return n
+}
+
+func deferred(f *pfs.File) {
+	defer f.Close() // want `defer \*File\.Close discards its error`
+}
+
+// bareEmbedded calls a Close that resolves to io.Closer through interface
+// embedding: the receiver type, not the method's package, is what places
+// it in scope.
+func bareEmbedded(h pfs.Handle) {
+	h.Close() // want `Handle\.Close returns an error that is silently dropped`
+}
+
+func goDropped(c *fabric.Comm, p []byte) {
+	go c.Send(1, p) // want `go \*Comm\.Send discards its error`
+}
+
+// handled is the approved shape: every error consumed.
+func handled(s *pfs.Storage, name string) error {
+	f, err := s.Open(name)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// waived documents why a particular drop cannot matter.
+func waived(s *pfs.Storage, name string) {
+	//batlint:ignore fabricerr best-effort cleanup on an already-failed path
+	_ = s.Remove(name)
+}
+
+func localErr() error { return nil }
+
+// bareLocal drops a non-fabric error: outside this analyzer's domain
+// (errcheck territory), so no finding.
+func bareLocal() {
+	localErr()
+}

@@ -1,0 +1,16 @@
+// Package obs is a fixture stub of the tracing collector: Start/End carry
+// the same shape as the real obs package so the spanpair analyzer resolves
+// them identically.
+package obs
+
+// Collector stands in for the per-rank trace collector.
+type Collector struct{}
+
+// Span is one open trace interval.
+type Span struct{}
+
+// Start opens a span; the caller must End it.
+func (c *Collector) Start(rank int, name string) *Span { return &Span{} }
+
+// End closes the span and delivers it to the collector.
+func (s *Span) End() {}

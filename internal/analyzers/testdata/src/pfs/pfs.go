@@ -1,0 +1,25 @@
+// Package pfs is a fixture stub mirroring the storage surface the
+// fabricerr analyzer checks against.
+package pfs
+
+import "io"
+
+// File stands in for a parallel-filesystem handle.
+type File struct{}
+
+func (f *File) ReadAt(p []byte, off int64) (int, error) { return 0, nil }
+func (f *File) Close() error                            { return nil }
+
+// Handle mirrors the real pfs.File interface, whose Close comes from an
+// embedded io.Closer — the method object lives in package io, and only the
+// receiver type marks it as a storage handle.
+type Handle interface {
+	io.Closer
+	Size() int64
+}
+
+// Storage stands in for the dataset store.
+type Storage struct{}
+
+func (s *Storage) Open(name string) (*File, error) { return nil, nil }
+func (s *Storage) Remove(name string) error        { return nil }

@@ -1,0 +1,111 @@
+// Package core is a spanpair fixture: every way a span can leak (or
+// legitimately not leak) against the obs stub.
+package core
+
+import (
+	"errors"
+
+	"obs"
+)
+
+var errFail = errors.New("fail")
+
+func work() {}
+
+// goodDefer is the canonical shape.
+func goodDefer(col *obs.Collector) {
+	sp := col.Start(0, "write")
+	defer sp.End()
+	work()
+}
+
+// goodExplicit ends the span on both the early-return and fall-through paths.
+func goodExplicit(col *obs.Collector, fail bool) error {
+	sp := col.Start(0, "agree")
+	if fail {
+		sp.End()
+		return errFail
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+// deferClosure ends the span inside a deferred closure.
+func deferClosure(col *obs.Collector) {
+	sp := col.Start(0, "build")
+	defer func() {
+		work()
+		sp.End()
+	}()
+	work()
+}
+
+// leakyReturn loses the span on the error path.
+func leakyReturn(col *obs.Collector, fail bool) error {
+	sp := col.Start(0, "exchange")
+	if fail {
+		return errFail // want `return leaves obs span "exchange" \(started at line \d+\) unended`
+	}
+	sp.End()
+	return nil
+}
+
+// discarded can never be ended at all.
+func discarded(col *obs.Collector) {
+	_ = col.Start(0, "noop") // want `obs span started and immediately discarded`
+}
+
+// fallsOffEnd only ends the span on one branch and then falls off the end.
+func fallsOffEnd(col *obs.Collector, fail bool) {
+	sp := col.Start(0, "flush") // want `obs span "flush" is not ended before the function returns`
+	if fail {
+		sp.End()
+	}
+}
+
+// endsInLoop relies on a loop body that may run zero times.
+func endsInLoop(col *obs.Collector, items []int) {
+	sp := col.Start(0, "scan") // want `obs span "scan" is not ended before the function returns`
+	for range items {
+		sp.End()
+	}
+}
+
+// returnInLoop leaks through an early return inside the loop body.
+func returnInLoop(col *obs.Collector, items []int) error {
+	sp := col.Start(0, "walk")
+	for _, it := range items {
+		if it < 0 {
+			return errFail // want `return leaves obs span "walk"`
+		}
+	}
+	sp.End()
+	return nil
+}
+
+// switchClosed ends the span in every arm including default.
+func switchClosed(col *obs.Collector, mode int) {
+	sp := col.Start(0, "route")
+	switch mode {
+	case 0:
+		sp.End()
+	default:
+		sp.End()
+	}
+}
+
+// switchLeak has no default, so the fall-through arm leaves the span open.
+func switchLeak(col *obs.Collector, mode int) {
+	sp := col.Start(0, "leak") // want `obs span "leak" is not ended before the function returns`
+	switch mode {
+	case 0:
+		sp.End()
+	}
+}
+
+// handsOff returns the span: the caller owns the End, so no finding.
+func handsOff(col *obs.Collector) *obs.Span {
+	sp := col.Start(0, "handoff")
+	return sp
+}

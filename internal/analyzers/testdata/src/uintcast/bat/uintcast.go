@@ -1,0 +1,72 @@
+// Package bat is a uintcast fixture reproducing the PR 2 offset-wrap panic
+// shape: a decoded uint64 treelet offset converted to int64 without a
+// bounds check wraps negative and faults the subsequent ReadAt.
+package bat
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errRange = errors.New("field out of range")
+
+type leafRef struct {
+	offset  uint64
+	byteLen uint64
+}
+
+type readerAt interface {
+	ReadAt(p []byte, off int64) (int, error)
+}
+
+// loadUnchecked is the bug: ref.offset is attacker-controlled file bytes.
+func loadUnchecked(r readerAt, ref leafRef) ([]byte, error) {
+	buf := make([]byte, 16)
+	_, err := r.ReadAt(buf, int64(ref.offset)) // want `unchecked conversion int64\(ref\.offset\) of untrusted uint64`
+	return buf, err
+}
+
+// loadGuarded is the fix the fuzzer finding led to: compare against the
+// file size before converting.
+func loadGuarded(r readerAt, ref leafRef, size int64) ([]byte, error) {
+	if ref.offset > uint64(size) {
+		return nil, errRange
+	}
+	buf := make([]byte, 16)
+	_, err := r.ReadAt(buf, int64(ref.offset))
+	return buf, err
+}
+
+// loadWaived documents a bound established elsewhere.
+func loadWaived(r readerAt, ref leafRef) ([]byte, error) {
+	buf := make([]byte, 16)
+	//batlint:ignore uintcast offset validated against file size at Decode time
+	_, err := r.ReadAt(buf, int64(ref.offset))
+	return buf, err
+}
+
+// decodeCount narrows a decoded length with no bound: a crafted header can
+// make the count negative after conversion.
+func decodeCount(buf []byte) int {
+	return int(binary.LittleEndian.Uint64(buf)) // want `unchecked conversion int\(binary\.LittleEndian\.Uint64\(buf\)\) of untrusted uint64`
+}
+
+// decodeCountGuarded bounds the uint64 before narrowing.
+func decodeCountGuarded(buf []byte) (int, error) {
+	cnt := binary.LittleEndian.Uint64(buf[:8])
+	if cnt > uint64(len(buf))/12 {
+		return 0, errRange
+	}
+	return int(cnt), nil
+}
+
+// headerLen converts a constant: the compiler checks that, not batlint.
+func headerLen() int {
+	const fixed uint64 = 48
+	return int(fixed)
+}
+
+// widen goes the lossless direction and is never a finding.
+func widen(n uint32) uint64 {
+	return uint64(n)
+}

@@ -1,0 +1,135 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"libbat/internal/analyzers/analysis"
+)
+
+// UintCast flags unchecked narrowing conversions of untrusted decoded
+// integers in the on-disk format packages: a non-constant uint64 (the type
+// every length, count, and offset field decodes to) converted to a signed
+// or narrower integer type without a preceding bounds comparison on the
+// same expression inside the same top-level function. This is the exact
+// shape of the offset-wrap panic the bat reader fuzzer found (a crafted
+// treelet offset converted with int64(off) went negative and ReadAt
+// faulted): the fix there — compare the uint64 against the file size
+// before converting — is what the guard heuristic looks for.
+//
+// The guard detection is syntactic and local: any <, >, <=, >= comparison
+// whose operand prints identically to the converted expression, earlier in
+// the same function. Values validated in another function (e.g. checked at
+// Decode time, used at query time) need a //batlint:ignore uintcast waiver
+// naming where the bound was established. Taint-style tracking through
+// helpers is a recorded follow-up in ROADMAP.md.
+var UintCast = &analysis.Analyzer{
+	Name: "uintcast",
+	Doc: "in format packages (bat, meta, particles, checksum), converting a non-constant uint64 to a " +
+		"signed or narrower integer requires a preceding bounds check on the same expression in the same function",
+	Run: runUintCast,
+}
+
+func runUintCast(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), formatPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			guards := collectGuards(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				to, from, ok := narrowingUint64Conversion(pass.TypesInfo, call)
+				if !ok {
+					return true
+				}
+				src := types.ExprString(ast.Unparen(call.Args[0]))
+				if guardedBefore(guards, src, call.Pos()) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"unchecked conversion %s(%s) of untrusted uint64 %q: values above %s's range wrap; "+
+						"bound it first (offset-wrap panic shape) or waive with //batlint:ignore uintcast <why>",
+					to, src, from, to)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// narrowingUint64Conversion reports whether call converts a non-constant
+// uint64 expression to an integer type that cannot represent every uint64,
+// returning the destination and source type names.
+func narrowingUint64Conversion(info *types.Info, call *ast.CallExpr) (to, from string, ok bool) {
+	tv, isConv := info.Types[call.Fun]
+	if !isConv || !tv.IsType() {
+		return "", "", false
+	}
+	dst, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || dst.Info()&types.IsInteger == 0 {
+		return "", "", false
+	}
+	switch dst.Kind() {
+	case types.Uint64, types.Uintptr:
+		return "", "", false // lossless (uintptr narrowing is the mmap layer's concern)
+	}
+	av := info.Types[call.Args[0]]
+	if av.Value != nil {
+		return "", "", false // constants are checked by the compiler
+	}
+	src, ok := av.Type.Underlying().(*types.Basic)
+	if !ok || src.Kind() != types.Uint64 {
+		return "", "", false
+	}
+	return dst.String(), src.String(), true
+}
+
+// guard is one relational comparison: the printed form of each operand and
+// where it occurs.
+type guard struct {
+	operands [2]string
+	pos      token.Pos
+}
+
+// collectGuards gathers every <, >, <=, >= comparison in body.
+func collectGuards(body *ast.BlockStmt) []guard {
+	var gs []guard
+	ast.Inspect(body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			gs = append(gs, guard{
+				operands: [2]string{
+					types.ExprString(ast.Unparen(b.X)),
+					types.ExprString(ast.Unparen(b.Y)),
+				},
+				pos: b.Pos(),
+			})
+		}
+		return true
+	})
+	return gs
+}
+
+// guardedBefore reports whether some comparison mentioning src (by printed
+// form) occurs before pos.
+func guardedBefore(gs []guard, src string, pos token.Pos) bool {
+	for _, g := range gs {
+		if g.pos < pos && (g.operands[0] == src || g.operands[1] == src) {
+			return true
+		}
+	}
+	return false
+}

@@ -236,7 +236,9 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 	fillTreelet := func(ti int) {
 		t := treelets[ti]
 		tBounds[ti] = tightBounds(set, t.order)
-		w := &writer{buf: buf, pos: int(offsets[ti])}
+		//batlint:ignore uintcast encoder-local offset derived from int64 off above, not decoded input
+		sectionStart := int(offsets[ti])
+		w := &writer{buf: buf, pos: sectionStart}
 		w.u32(uint32(len(t.nodes)))
 		w.u32(uint32(len(t.order)))
 		for ni, n := range t.nodes {
@@ -298,9 +300,9 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 				}
 			}
 		}
-		if w.pos != int(offsets[ti])+int(sizes[ti]) {
+		if w.pos != sectionStart+int(sizes[ti]) {
 			fillErrs[ti] = fmt.Errorf("bat: treelet %d layout error: wrote %d bytes, computed %d",
-				ti, w.pos-int(offsets[ti]), sizes[ti])
+				ti, w.pos-sectionStart, sizes[ti])
 			return
 		}
 		crcs[ti] = checksum.CRC32C(buf[offsets[ti] : offsets[ti]+uint64(sizes[ti])])

@@ -306,6 +306,7 @@ func (f *File) CollectBox(bounds geom.Box) (*particles.Set, error) {
 
 // ReadAll gathers every particle in the file into a new set.
 func (f *File) ReadAll() (*particles.Set, error) {
+	//batlint:ignore uintcast NumParticles is bounded by the file size in Decode
 	out := particles.NewSet(f.Schema, int(f.NumParticles))
 	err := f.Query(Query{}, func(p geom.Vec3, attrs []float64) error {
 		out.Append(p, attrs)

@@ -222,6 +222,13 @@ func Decode(src io.ReaderAt, size int64) (*File, error) {
 	if f.NumParticles, err = c.u64(); err != nil {
 		return nil, err
 	}
+	// A particle occupies several bytes of payload, so a claimed count
+	// beyond the file size is corrupt. Establishing the bound here also
+	// keeps the int(f.NumParticles) conversions downstream (ReadAll)
+	// from wrapping on a crafted header.
+	if f.NumParticles > uint64(size) {
+		return nil, fmt.Errorf("bat: particle count %d exceeds file size %d", f.NumParticles, size)
+	}
 	if f.Domain, err = c.box(); err != nil {
 		return nil, err
 	}
@@ -464,6 +471,7 @@ func (f *File) Verify() error {
 	}
 	for ti, ref := range f.leaves {
 		buf := make([]byte, ref.byteLen)
+		//batlint:ignore uintcast offset+byteLen are bounded by the file size in Decode
 		if _, err := f.src.ReadAt(buf, int64(ref.offset)); err != nil && err != io.EOF {
 			return fmt.Errorf("bat: verify treelet %d: %w", ti, err)
 		}
@@ -600,6 +608,7 @@ func (f *File) loadTreelet(ti int) (*parsedTreelet, error) {
 
 	ref := f.leaves[ti]
 	buf := make([]byte, ref.byteLen)
+	//batlint:ignore uintcast offset+byteLen are bounded by the file size in Decode
 	if _, err := f.src.ReadAt(buf, int64(ref.offset)); err != nil {
 		return nil, fmt.Errorf("bat: reading treelet %d: %w", ti, err)
 	}

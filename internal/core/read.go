@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -283,15 +284,21 @@ func parseReply(raw []byte, schema particles.Schema) (int, *particles.Set, error
 }
 
 // readMeta loads and parses the metadata file.
-func readMeta(store pfs.Storage, name string) (*meta.Meta, error) {
+func readMeta(store pfs.Storage, name string) (m *meta.Meta, err error) {
 	f, err := store.Open(name)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	// The handle is read-only, but a failing Close can still be the first
+	// sign of a flaky mount: surface it instead of dropping it.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			m, err = nil, fmt.Errorf("core: closing %s: %w", name, cerr)
+		}
+	}()
 	buf := make([]byte, f.Size())
-	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
-		return nil, err
+	if _, rerr := f.ReadAt(buf, 0); rerr != nil && rerr != io.EOF {
+		return nil, rerr
 	}
 	return meta.Decode(buf)
 }
@@ -310,7 +317,9 @@ func queryLeaf(store pfs.Storage, m *meta.Meta, files map[int]*bat.File,
 		}
 		f, err = bat.Decode(handle, handle.Size())
 		if err != nil {
-			handle.Close()
+			if cerr := handle.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
 			return nil, fmt.Errorf("core: parsing leaf %d: %w", li, err)
 		}
 		f.SetCloser(handle)

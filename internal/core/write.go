@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -340,11 +341,18 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 	// the leaf files it wrote (and rank 0 the metadata), so a poisoned
 	// write leaves no partial dataset behind.
 	if collErr := agreeOnError(c, "write", localErr); collErr != nil {
+		// Cleanup failures don't change the outcome (the write already
+		// failed) but they do mean stray files survive, so they ride
+		// along on the returned error instead of vanishing.
 		for _, name := range written {
-			store.Remove(name)
+			if err := store.Remove(name); err != nil {
+				collErr = errors.Join(collErr, fmt.Errorf("core: removing %s: %w", name, err))
+			}
 		}
 		if c.Rank() == 0 {
-			store.Remove(MetaFileName(base))
+			if err := store.Remove(MetaFileName(base)); err != nil {
+				collErr = errors.Join(collErr, fmt.Errorf("core: removing %s: %w", MetaFileName(base), err))
+			}
 		}
 		return nil, collErr
 	}

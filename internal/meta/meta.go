@@ -515,6 +515,9 @@ func Decode(buf []byte) (*Meta, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cnt > math.MaxInt64 {
+			return nil, fmt.Errorf("meta: leaf %d particle count %d overflows int64", i, cnt)
+		}
 		l.Count = int64(cnt)
 		l.LocalRanges = make([]bitmap.Range, nA)
 		for a := 0; a < nA; a++ {

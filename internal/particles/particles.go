@@ -264,7 +264,15 @@ func Unmarshal(buf []byte, schema Schema) (*Set, error) {
 	if len(buf) < 8 {
 		return nil, fmt.Errorf("particles: short buffer (%d bytes)", len(buf))
 	}
-	n := int(binary.LittleEndian.Uint64(buf))
+	nu := binary.LittleEndian.Uint64(buf)
+	// Bound the count before narrowing it: each particle carries at least
+	// 12 bytes of position payload, so a claimed count beyond len(buf)/12
+	// is corrupt — and without this check a crafted header could overflow
+	// the exact-size computation below after int conversion.
+	if nu > uint64(len(buf))/12 {
+		return nil, fmt.Errorf("particles: claimed count %d exceeds buffer capacity (%d bytes)", nu, len(buf))
+	}
+	n := int(nu)
 	want := 8 + n*12 + n*8*schema.NumAttrs()
 	if len(buf) != want {
 		return nil, fmt.Errorf("particles: buffer is %d bytes, want %d for %d particles", len(buf), want, n)

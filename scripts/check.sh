@@ -1,42 +1,69 @@
 #!/bin/sh
-# Pre-PR check: vet the whole module and run the concurrency-sensitive
-# packages (the simulated MPI fabric and the collective pipelines) under the
-# race detector. Run it from the repository root before sending a PR.
-set -eu
+# Pre-PR check: batlint + vet the whole module, run the concurrency-
+# sensitive packages under the race detector, smoke the benchmarks, and
+# (unless CHECK_FUZZ=0) give both format fuzzers a short pass. Run it from
+# the repository root before sending a PR.
+#
+# Stages keep running after a failure; the script reports a per-stage
+# summary at the end and exits non-zero if anything failed.
+set -u
 
 cd "$(dirname "$0")/.."
 
-echo "== go vet ./..."
-go vet ./...
+failed=""
 
-echo "== go test -race ./internal/fabric/... ./internal/core/..."
-go test -race ./internal/fabric/... ./internal/core/...
+# run <name> <cmd...> executes one stage, recording failures instead of
+# aborting so one broken stage does not hide the rest.
+run() {
+	name="$1"
+	shift
+	echo "== $name"
+	if ! "$@"; then
+		echo "-- FAILED: $name"
+		failed="$failed
+  FAIL $name"
+	fi
+}
+
+# The repo's own static-analysis suite: format endianness, unchecked
+# narrowing of decoded integers, build-pipeline determinism, dropped
+# fabric/pfs errors, unpaired obs spans. Zero unwaived findings is the bar.
+run "batlint ./..." go run ./cmd/batlint ./...
+
+run "go vet ./..." go vet ./...
+
+run "go test -race fabric+core" go test -race ./internal/fabric/... ./internal/core/...
 
 # The chaos suite injects storage faults into full 16-rank collectives;
 # running it under the race detector is the strongest deadlock/race signal
 # the repo has, so it gets its own invocation even though the package run
 # above already covered it once.
-echo "== go test -race -run TestChaos ./internal/core/"
-go test -race -run 'TestChaos' ./internal/core/
+run "go test -race TestChaos" go test -race -run 'TestChaos' ./internal/core/
 
 # The BAT build byte-identity property (serial path vs every worker count)
 # under the race detector, with GOMAXPROCS forced above 1 so the fused
 # treelet/bitmap workers and the parallel compact stage actually interleave
 # even on single-core CI runners.
-echo "== go test -race -run TestBuildDeterminism ./internal/bat/"
-GOMAXPROCS=4 go test -race -run 'TestBuildDeterminism' ./internal/bat/
+run "go test -race TestBuildDeterminism" env GOMAXPROCS=4 go test -race -run 'TestBuildDeterminism' ./internal/bat/
 
 # Bench smoke: one iteration of every BAT build benchmark, just to keep the
 # benchmark code compiling and runnable (no timing assertions).
-echo "== bench smoke: BenchmarkBATBuild"
-go test -run=NONE -bench=BATBuild -benchtime=1x ./internal/bat/
+run "bench smoke BenchmarkBATBuild" go test -run=NONE -bench=BATBuild -benchtime=1x ./internal/bat/
 
 # Short fuzz pass over both on-disk format parsers: seconds, not a soak —
 # enough to catch parser regressions on the corpus + fresh mutations.
 # (-fuzzminimizetime keeps a newly found interesting input from eating the
-# whole budget in minimization.)
-echo "== go fuzz (short): bat + meta decoders"
-go test -fuzz=FuzzDecode -fuzztime=10s -fuzzminimizetime=5x ./internal/bat/
-go test -fuzz=FuzzDecode -fuzztime=10s -fuzzminimizetime=5x ./internal/meta/
+# whole budget in minimization.) CHECK_FUZZ=0 skips it for quick local
+# iterations.
+if [ "${CHECK_FUZZ:-1}" != "0" ]; then
+	run "fuzz FuzzDecode bat" go test -fuzz=FuzzDecode -fuzztime=10s -fuzzminimizetime=5x ./internal/bat/
+	run "fuzz FuzzDecode meta" go test -fuzz=FuzzDecode -fuzztime=10s -fuzzminimizetime=5x ./internal/meta/
+else
+	echo "== fuzz stages skipped (CHECK_FUZZ=0)"
+fi
 
+if [ -n "$failed" ]; then
+	echo "check.sh: FAILED stages:$failed"
+	exit 1
+fi
 echo "check.sh: OK"
