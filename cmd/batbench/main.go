@@ -81,6 +81,9 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event timeline of the materialized runs to this file")
 		jsonOut   = flag.String("json", "", "write machine-readable per-phase timings of the materialized runs to this file")
 		buildWkrs = flag.Int("build-workers", 0, "BAT build worker goroutines per aggregator (0 = GOMAXPROCS)")
+		readBench = flag.Bool("readbench", false, "run the query-path benchmark and emit a JSON report")
+		readOut   = flag.String("readbench-out", "BENCH_read.json", "output path for the -readbench report")
+		readScale = flag.Int("read-particles", 400_000, "particles for the -readbench corpus")
 	)
 	flag.Parse()
 	if *buildWkrs < 0 {
@@ -98,9 +101,16 @@ func main() {
 		bench.Observer = col
 		mmapio.SetCollector(col)
 	}
-	if !*all && *fig == 0 && *table == 0 && !*fileStats && !*overhead && !*ablate && !*ext && !*measured {
+	if !*all && *fig == 0 && *table == 0 && !*fileStats && !*overhead && !*ablate && !*ext && !*measured && !*readBench {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *readBench {
+		if err := runReadBench(*readScale, *readOut); err != nil {
+			fmt.Fprintln(os.Stderr, "batbench:", err)
+			os.Exit(1)
+		}
 	}
 
 	tableSeq := 0

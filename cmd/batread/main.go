@@ -58,6 +58,8 @@ func main() {
 		vis      = flag.Bool("vis", false, "run the progressive visualization read benchmark instead")
 		quality  = flag.Float64("quality", 1, "LOD quality in (0,1] for -count queries")
 		count    = flag.Bool("count", false, "count particles matching -filter/-quality and exit")
+		workers  = flag.Int("query-workers", 0, "traversal goroutines per query for -count (0 = GOMAXPROCS, 1 = serial)")
+		cacheMB  = flag.Int64("cache-mb", 0, "treelet cache budget in MiB for -count (0 = unbounded)")
 		statsOut = flag.String("stats", "", "write telemetry counters/histograms/spans as JSON to this file")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 	)
@@ -93,6 +95,17 @@ func main() {
 			fail(err)
 		}
 		defer ds.Close()
+		qw := *workers
+		if qw == 0 {
+			qw = -1 // bat: negative means GOMAXPROCS
+		}
+		ds.SetQueryConfig(libbat.QueryConfig{Workers: qw, Readahead: 2})
+		if *cacheMB > 0 {
+			ds.SetCacheLimit(*cacheMB << 20)
+		}
+		if col != nil {
+			ds.SetObserver(col)
+		}
 		n, err := ds.Count(libbat.Query{Filters: filters, Quality: *quality})
 		if err != nil {
 			fail(err)

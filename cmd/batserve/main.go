@@ -35,11 +35,23 @@ import (
 )
 
 type server struct {
-	mu    sync.Mutex // Datasets cache file handles; serialize queries
+	// mu fences dataset lifetime against request handling: every handler
+	// that touches a dataset holds the read lock for the request's
+	// duration, and only closeDatasets takes the write lock. Queries on
+	// the same dataset run concurrently — Dataset and the BAT treelet
+	// cache underneath are concurrency-safe — so there is no per-query
+	// serialization anywhere.
+	mu    sync.RWMutex
 	store libbat.Storage
 	names []string // time series of dataset base names
-	open  map[int]*libbat.Dataset
-	col   *obs.Collector // backs /metrics
+
+	openMu sync.Mutex // guards open; opens are serialized, queries are not
+	open   map[int]*libbat.Dataset
+
+	col  *obs.Collector     // backs /metrics
+	qcfg libbat.QueryConfig // applied to every dataset at open
+	// cacheBytes bounds each dataset's treelet cache (0 = unbounded).
+	cacheBytes int64
 }
 
 // jsonError replies with a JSON error body and the given status code.
@@ -92,11 +104,15 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	s.col.WritePrometheus(w)
 }
 
-// dataset lazily opens timestep i of the series.
+// dataset lazily opens timestep i of the series. Opens are serialized on
+// openMu; concurrent requests for an already-open step share the handle
+// without contention beyond the map lookup.
 func (s *server) dataset(i int) (*libbat.Dataset, error) {
 	if i < 0 || i >= len(s.names) {
 		return nil, fmt.Errorf("step %d out of range [0,%d)", i, len(s.names))
 	}
+	s.openMu.Lock()
+	defer s.openMu.Unlock()
 	if ds, ok := s.open[i]; ok {
 		return ds, nil
 	}
@@ -104,6 +120,11 @@ func (s *server) dataset(i int) (*libbat.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	ds.SetQueryConfig(s.qcfg)
+	if s.cacheBytes > 0 {
+		ds.SetCacheLimit(s.cacheBytes)
+	}
+	ds.SetObserver(s.col, obs.L("step", strconv.Itoa(i)))
 	s.open[i] = ds
 	return ds, nil
 }
@@ -153,10 +174,14 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 	}
 }
 
-// closeDatasets releases every cached dataset handle.
+// closeDatasets releases every cached dataset handle. The write lock waits
+// out all in-flight requests (which hold read locks), so no query can be
+// traversing a dataset while it is closed.
 func (s *server) closeDatasets() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.openMu.Lock()
+	defer s.openMu.Unlock()
 	for _, ds := range s.open {
 		ds.Close()
 	}
@@ -169,6 +194,13 @@ func main() {
 		name  = flag.String("name", "", "dataset base name, or a prefix matching a time series (required)")
 		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
 		drain = flag.Duration("drain", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+
+		queryWorkers = flag.Int("query-workers", 0,
+			"traversal goroutines per query (0 = GOMAXPROCS, 1 = serial)")
+		unordered = flag.Bool("query-unordered", false,
+			"allow out-of-order point delivery within a query (lower latency, nondeterministic stream order)")
+		cacheMB = flag.Int64("cache-mb", 0,
+			"treelet cache budget per dataset in MiB (0 = unbounded)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -182,7 +214,12 @@ func main() {
 	if err != nil {
 		log.Fatal("batserve: ", err)
 	}
-	s := &server{store: store, names: names, open: map[int]*libbat.Dataset{}, col: obs.New()}
+	qcfg := libbat.QueryConfig{Workers: *queryWorkers, Ordered: !*unordered, Readahead: 2}
+	if qcfg.Workers == 0 {
+		qcfg.Workers = -1 // bat: negative means GOMAXPROCS
+	}
+	s := &server{store: store, names: names, open: map[int]*libbat.Dataset{},
+		col: obs.New(), qcfg: qcfg, cacheBytes: *cacheMB << 20}
 	ds, err := s.dataset(0)
 	if err != nil {
 		log.Fatal(err)
@@ -224,7 +261,7 @@ func (s *server) stepParam(r *http.Request) (int, error) {
 
 // openStep resolves the request's timestep to an open dataset, replying
 // with 400 for bad/out-of-range steps and 500 for datasets that fail to
-// open. Callers must hold s.mu.
+// open. Callers must hold s.mu.RLock for as long as they use the dataset.
 func (s *server) openStep(w http.ResponseWriter, r *http.Request) (*libbat.Dataset, int, bool) {
 	step, err := s.stepParam(r)
 	if err != nil {
@@ -245,8 +282,8 @@ func (s *server) openStep(w http.ResponseWriter, r *http.Request) (*libbat.Datas
 }
 
 func (s *server) info(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ds, step, ok := s.openStep(w, r)
 	if !ok {
 		return
@@ -321,8 +358,8 @@ func (s *server) points(w http.ResponseWriter, r *http.Request) {
 		}
 		q.Filters = append(q.Filters, libbat.AttrFilter{Attr: int(vals[0]), Min: vals[1], Max: vals[2]})
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ds, step, ok := s.openStep(w, r)
 	if !ok {
 		return

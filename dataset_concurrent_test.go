@@ -1,0 +1,88 @@
+package libbat
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDatasetConcurrentQuery: one Dataset, many goroutines, mixed query
+// shapes. Before the sharded leaf cache this raced on Dataset.files (run
+// under -race via check.sh); now every query must see the full count.
+func TestDatasetConcurrentQuery(t *testing.T) {
+	store, total := writeTestDataset(t, "conc", 20*1024)
+	ds, err := OpenDataset(store, "conc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ds.SetQueryConfig(QueryConfig{Workers: 2})
+
+	box := NewBox(V3(0.5, 0.5, 0), V3(3.5, 1.5, 1))
+	wantBox, err := ds.Count(Query{Bounds: &box})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var n int64
+			var q Query
+			want := int64(total)
+			if g%2 == 1 {
+				q = Query{Bounds: &box}
+				want = wantBox
+			}
+			if err := ds.Query(q, func(Vec3, []float64) error {
+				n++
+				return nil
+			}); err != nil {
+				errs <- err
+				return
+			}
+			if n != want {
+				errs <- fmt.Errorf("goroutine %d visited %d, want %d", g, n, want)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := ds.CacheStats()
+	if st.Misses == 0 {
+		t.Errorf("dataset cache recorded no misses: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Errorf("dataset cache recorded no hits across %d rescans: %+v", goroutines, st)
+	}
+}
+
+// TestDatasetCacheLimit: a total budget spread over leaves still yields
+// correct counts while evicting.
+func TestDatasetCacheLimit(t *testing.T) {
+	store, total := writeTestDataset(t, "lim", 20*1024)
+	ds, err := OpenDataset(store, "lim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ds.SetCacheLimit(1) // effectively one treelet per shard per leaf
+
+	for pass := 0; pass < 2; pass++ {
+		n, err := ds.Count(Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(total) {
+			t.Fatalf("pass %d: counted %d, want %d", pass, n, total)
+		}
+	}
+}

@@ -70,3 +70,51 @@ func headerLen() int {
 func widen(n uint32) uint64 {
 	return uint64(n)
 }
+
+// header models the cross-function Decode rule: fields bounded against the
+// file size in Decode are trusted for narrowing everywhere in the package.
+type header struct {
+	count  uint64 // bounded in Decode
+	offset uint64 // bounded in Decode
+	stride uint64 // never bounded in Decode
+}
+
+// Decode is the validation point the analyzer recognizes by name.
+func Decode(buf []byte, size int64) (*header, error) {
+	h := &header{
+		count:  binary.LittleEndian.Uint64(buf[0:]),
+		offset: binary.LittleEndian.Uint64(buf[8:]),
+		stride: binary.LittleEndian.Uint64(buf[16:]),
+	}
+	if h.count > uint64(size) {
+		return nil, errRange
+	}
+	if h.offset > uint64(size) {
+		return nil, errRange
+	}
+	return h, nil
+}
+
+// useDecodedCount narrows a field Decode bounded: no finding, no waiver.
+func useDecodedCount(h *header) int {
+	return int(h.count)
+}
+
+// readDecodedOffset is the retired-waiver shape: offset was checked
+// against the file size in Decode, so the conversion is safe here.
+func readDecodedOffset(r readerAt, h *header) ([]byte, error) {
+	buf := make([]byte, 16)
+	_, err := r.ReadAt(buf, int64(h.offset))
+	return buf, err
+}
+
+// useUncheckedStride narrows a field Decode never compared: still flagged.
+func useUncheckedStride(h *header) int {
+	return int(h.stride) // want `unchecked conversion int\(h\.stride\) of untrusted uint64`
+}
+
+// validateStride bounds stride, but outside Decode: that establishes no
+// package-wide trust, so useUncheckedStride above stays a finding.
+func validateStride(h *header) bool {
+	return h.stride < 4096
+}

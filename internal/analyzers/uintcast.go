@@ -18,16 +18,22 @@ import (
 // faulted): the fix there — compare the uint64 against the file size
 // before converting — is what the guard heuristic looks for.
 //
-// The guard detection is syntactic and local: any <, >, <=, >= comparison
+// The guard detection is syntactic and local — any <, >, <=, >= comparison
 // whose operand prints identically to the converted expression, earlier in
-// the same function. Values validated in another function (e.g. checked at
-// Decode time, used at query time) need a //batlint:ignore uintcast waiver
-// naming where the bound was established. Taint-style tracking through
-// helpers is a recorded follow-up in ROADMAP.md.
+// the same function — plus one deliberate cross-function rule: a struct
+// field compared in a function named Decode is trusted everywhere in the
+// package. Decode is where the format packages validate untrusted header
+// fields against the file size before storing them, so a field that was
+// bounds-checked there (File.NumParticles, leafRef.offset) is safe to
+// narrow at query time without a waiver. Fields checked anywhere else, or
+// never, still require a local guard or a //batlint:ignore uintcast
+// waiver. Full taint-style tracking through arbitrary helpers remains a
+// ROADMAP follow-up.
 var UintCast = &analysis.Analyzer{
 	Name: "uintcast",
 	Doc: "in format packages (bat, meta, particles, checksum), converting a non-constant uint64 to a " +
-		"signed or narrower integer requires a preceding bounds check on the same expression in the same function",
+		"signed or narrower integer requires a preceding bounds check on the same expression in the " +
+		"same function, or on the same struct field in Decode",
 	Run: runUintCast,
 }
 
@@ -35,6 +41,7 @@ func runUintCast(pass *analysis.Pass) error {
 	if !inScope(pass.Pkg.Path(), formatPkgs...) {
 		return nil
 	}
+	checked := decodeCheckedFields(pass)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -51,9 +58,13 @@ func runUintCast(pass *analysis.Pass) error {
 				if !ok {
 					return true
 				}
-				src := types.ExprString(ast.Unparen(call.Args[0]))
+				arg := ast.Unparen(call.Args[0])
+				src := types.ExprString(arg)
 				if guardedBefore(guards, src, call.Pos()) {
 					return true
+				}
+				if fld := fieldObject(pass.TypesInfo, arg); fld != nil && checked[fld] {
+					return true // bounded against the file size in Decode
 				}
 				pass.Reportf(call.Pos(),
 					"unchecked conversion %s(%s) of untrusted uint64 %q: values above %s's range wrap; "+
@@ -64,6 +75,53 @@ func runUintCast(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+// decodeCheckedFields collects every struct field that appears as a bare
+// operand of a relational comparison inside a function named Decode in
+// this package. Those comparisons are the format layer's validation of
+// untrusted on-disk values (typically against the file size), so the
+// fields they bound are trusted for narrowing conversions package-wide.
+func decodeCheckedFields(pass *analysis.Pass) map[types.Object]bool {
+	checked := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Name.Name != "Decode" {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				b, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch b.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+					for _, operand := range [2]ast.Expr{b.X, b.Y} {
+						if fld := fieldObject(pass.TypesInfo, ast.Unparen(operand)); fld != nil {
+							checked[fld] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return checked
+}
+
+// fieldObject resolves expr to the struct field it selects, or nil when
+// expr is not a plain field selector.
+func fieldObject(info *types.Info, expr ast.Expr) types.Object {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
 }
 
 // narrowingUint64Conversion reports whether call converts a non-constant

@@ -1,0 +1,202 @@
+// Sharded treelet cache: the concurrency core of the read path. Parsed
+// treelets are immutable once loaded, so any number of query goroutines may
+// share them; the cache's job is to hand out those shared pointers cheaply
+// under concurrent access, parse each cold treelet exactly once no matter
+// how many goroutines ask for it (singleflight), and bound the bytes held
+// in memory with per-shard LRU eviction.
+//
+// Sharding keeps the hot hit path short: a treelet index hashes to one of
+// a fixed number of shards, each with its own mutex, map, and LRU list, so
+// concurrent queries touching different treelets do not contend on a
+// single lock. The shard count is a constant — it only affects contention,
+// never which treelets are cached or what any query returns.
+package bat
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"libbat/internal/obs"
+)
+
+// cacheShards is the number of independently locked cache shards. A small
+// power of two: enough to spread contention across a worker pool, cheap
+// enough that per-shard LRU bookkeeping stays negligible for tiny files.
+const cacheShards = 16
+
+// CacheStats is a snapshot of a File's treelet cache counters.
+type CacheStats struct {
+	Hits      int64 // lookups served from a resident treelet
+	Misses    int64 // lookups that had to parse (singleflight-deduplicated)
+	Evictions int64 // treelets dropped to respect the byte budget
+	Entries   int64 // treelets currently resident
+	Bytes     int64 // in-memory bytes of resident treelets
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// cacheEntry is one treelet's slot. ready is closed once t/err are set;
+// goroutines that lose the singleflight race wait on it instead of parsing.
+type cacheEntry struct {
+	ready chan struct{}
+	t     *parsedTreelet
+	err   error
+	bytes int64
+	elem  *list.Element // position in the shard's LRU list; nil while loading
+}
+
+// cacheShard is one lock domain of the cache.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[int]*cacheEntry
+	lru     *list.List // front = most recently used; values are treelet indices
+	bytes   int64
+}
+
+// treeletCache is the sharded, size-bounded, singleflight treelet cache.
+type treeletCache struct {
+	shards [cacheShards]cacheShard
+	// limit is the total byte budget (0 = unbounded), applied per shard as
+	// limit/cacheShards. Atomic so SetCacheLimit is safe mid-query.
+	limit atomic.Int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	// Optional obs mirrors of the counters above; nil-safe no-ops when
+	// telemetry is off.
+	obsHits, obsMisses, obsEvictions *obs.Counter
+}
+
+func newTreeletCache() *treeletCache {
+	c := &treeletCache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[int]*cacheEntry)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// setObserver mirrors the cache counters into col (nil detaches).
+func (c *treeletCache) setObserver(col *obs.Collector, labels ...obs.Label) {
+	c.obsHits = col.Counter("bat_treelet_cache_hits_total", labels...)
+	c.obsMisses = col.Counter("bat_treelet_cache_misses_total", labels...)
+	c.obsEvictions = col.Counter("bat_treelet_cache_evictions_total", labels...)
+}
+
+// shardOf maps a treelet index to its shard (Fibonacci hashing so runs of
+// adjacent indices — the common traversal order — spread across shards;
+// the top 4 bits of the hash index the 16 shards).
+func (c *treeletCache) shardOf(ti int) *cacheShard {
+	h := uint32(ti) * 2654435761
+	return &c.shards[h>>28]
+}
+
+// get returns treelet ti, loading it via load on a miss. Concurrent calls
+// for the same cold treelet run load exactly once; the others block until
+// it completes and share the result. Load errors are returned to every
+// waiter but not cached, so a transient I/O failure is retried on the next
+// lookup.
+func (c *treeletCache) get(ti int, load func() (*parsedTreelet, error)) (*parsedTreelet, error) {
+	sh := c.shardOf(ti)
+	sh.mu.Lock()
+	if e, ok := sh.entries[ti]; ok {
+		if e.elem != nil {
+			sh.lru.MoveToFront(e.elem)
+		}
+		sh.mu.Unlock()
+		<-e.ready
+		if e.err == nil {
+			c.hits.Add(1)
+			c.obsHits.Inc()
+		}
+		return e.t, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	sh.entries[ti] = e
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	c.obsMisses.Inc()
+	t, err := load()
+
+	sh.mu.Lock()
+	e.t, e.err = t, err
+	if err != nil {
+		delete(sh.entries, ti)
+	} else {
+		e.bytes = t.memBytes()
+		e.elem = sh.lru.PushFront(ti)
+		sh.bytes += e.bytes
+		c.evictShardLocked(sh, ti)
+	}
+	sh.mu.Unlock()
+	close(e.ready)
+	return t, err
+}
+
+// evictShardLocked drops least-recently-used treelets until the shard fits
+// its slice of the byte budget. The just-inserted treelet (keep) survives
+// even if it alone exceeds the budget — evicting the treelet a query is
+// about to traverse would only force an immediate reload.
+func (c *treeletCache) evictShardLocked(sh *cacheShard, keep int) {
+	limit := c.limit.Load()
+	if limit <= 0 {
+		return
+	}
+	perShard := limit / cacheShards
+	for sh.bytes > perShard && sh.lru.Len() > 1 {
+		back := sh.lru.Back()
+		ti := back.Value.(int)
+		if ti == keep {
+			break
+		}
+		victim := sh.entries[ti]
+		sh.lru.Remove(back)
+		delete(sh.entries, ti)
+		sh.bytes -= victim.bytes
+		c.evictions.Add(1)
+		c.obsEvictions.Inc()
+	}
+}
+
+// stats snapshots the cache counters and residency.
+func (c *treeletCache) stats() CacheStats {
+	s := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += int64(sh.lru.Len())
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// memBytes estimates the in-memory footprint of a parsed treelet: node
+// records (with their bitmap IDs), the three position arrays, and the
+// attribute columns. Used for the cache byte budget.
+func (t *parsedTreelet) memBytes() int64 {
+	const nodeBytes = 48 // diskNode less the ids slice, padded
+	b := int64(len(t.nodes)) * nodeBytes
+	for i := range t.nodes {
+		b += int64(len(t.nodes[i].ids)) * 2
+	}
+	b += int64(len(t.x)+len(t.y)+len(t.z)) * 4
+	for _, a := range t.attrs {
+		b += int64(len(a)) * 8
+	}
+	return b
+}

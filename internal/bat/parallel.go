@@ -1,0 +1,174 @@
+// Parallel query engine: fans the candidate treelets of one query onto a
+// worker pool while keeping the visitor contract serial. Workers claim
+// treelets in deterministic list order via an atomic counter, traverse them
+// into self-contained particle batches, and a single emitter goroutine (the
+// caller) replays each batch through the visitor — so the visitor is never
+// invoked concurrently, and with Ordered delivery the visit sequence is
+// identical to the serial engine's.
+//
+// Memory is bounded by a token semaphore: a worker acquires a token before
+// claiming a treelet and the emitter releases it after delivering the
+// batch, so at most 2×workers batches exist at once. Acquiring BEFORE
+// claiming is what makes Ordered delivery deadlock-free: every token is
+// held by a claimed task, claims are issued in increasing index order, so
+// the lowest undelivered index always owns a token and is either being
+// traversed or already deliverable.
+package bat
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"libbat/internal/geom"
+)
+
+// cancelFlag is a shared abort signal polled by traversal workers. A nil
+// *cancelFlag reads as "never cancelled" so the serial engine can pass nil.
+type cancelFlag struct {
+	flag atomic.Bool
+}
+
+func (c *cancelFlag) isSet() bool {
+	return c != nil && c.flag.Load()
+}
+
+func (c *cancelFlag) set() {
+	if c != nil {
+		c.flag.Store(true)
+	}
+}
+
+// queryBatch is one traversed treelet's matching particles, packed so the
+// emitter can replay them without touching the treelet again. attrs is a
+// flat row-major block: particle i's attributes are attrs[i*nAttrs :
+// (i+1)*nAttrs].
+type queryBatch struct {
+	idx    int // position in the candidate list, for ordered delivery
+	pts    []geom.Vec3
+	attrs  []float64
+	nAttrs int
+	tc     traversalCounters // pruned/falsePos from this treelet's walk
+	err    error             // treelet load or corruption error
+}
+
+// runParallel traverses the candidate treelets with w worker goroutines,
+// delivering batches to visit on the calling goroutine.
+func (f *File) runParallel(s *queryState, cands []int, cfg QueryConfig, w int, tc *traversalCounters, visit Visitor) error {
+	// Each in-flight batch holds one token from acquisition until the
+	// emitter finishes delivering it; results is sized to the token count
+	// so workers never block sending.
+	maxInflight := 2 * w
+	tokens := make(chan struct{}, maxInflight)
+	results := make(chan *queryBatch, maxInflight)
+	cancel := &cancelFlag{}
+	var next atomic.Int64
+
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if cancel.isSet() {
+					return
+				}
+				tokens <- struct{}{} // acquire before claiming (see file comment)
+				idx := int(next.Add(1)) - 1
+				if idx >= len(cands) || cancel.isSet() {
+					<-tokens
+					return
+				}
+				if cfg.Readahead > 0 {
+					// Warm the treelet this worker is likely to claim next.
+					if j := idx + w; j < len(cands) {
+						f.prefetch(cands[j], cfg.Readahead)
+					}
+				}
+				results <- f.collectBatch(s, cands[idx], idx, cancel)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			cancel.set()
+		}
+	}
+	// deliver replays one batch through the visitor; skipped entirely once
+	// a previous batch failed (we still drain results to release tokens
+	// and let workers exit).
+	deliver := func(b *queryBatch) {
+		if firstErr != nil {
+			return
+		}
+		if b.err != nil {
+			fail(b.err)
+			return
+		}
+		tc.add(b.tc)
+		for i, p := range b.pts {
+			attrs := b.attrs[i*b.nAttrs : (i+1)*b.nAttrs : (i+1)*b.nAttrs]
+			tc.visited++
+			if err := visit(p, attrs); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}
+
+	if !cfg.Ordered {
+		for b := range results {
+			deliver(b)
+			<-tokens
+		}
+		return firstErr
+	}
+
+	// Ordered delivery: stash out-of-order completions, replay the run of
+	// consecutive indices starting at nextIdx as it becomes available.
+	pending := make(map[int]*queryBatch, maxInflight)
+	nextIdx := 0
+	for b := range results {
+		pending[b.idx] = b
+		for {
+			nb, ok := pending[nextIdx]
+			if !ok {
+				break
+			}
+			delete(pending, nextIdx)
+			nextIdx++
+			deliver(nb)
+			<-tokens
+		}
+	}
+	return firstErr
+}
+
+// collectBatch loads and traverses one candidate treelet, packing every
+// matching particle into a batch. Never returns nil.
+func (f *File) collectBatch(s *queryState, li, idx int, cancel *cancelFlag) *queryBatch {
+	b := &queryBatch{idx: idx}
+	t, err := f.loadTreelet(li)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.nAttrs = len(t.attrs)
+	emit := func(p geom.Vec3, t *parsedTreelet, pi uint32) error {
+		b.pts = append(b.pts, p)
+		for a := 0; a < b.nAttrs; a++ {
+			b.attrs = append(b.attrs, t.attrs[a][pi])
+		}
+		return nil
+	}
+	if err := s.traverseTreelet(f, t, &b.tc, emit, cancel); err != nil && err != errTraversalCancelled {
+		b.err = err
+	}
+	return b
+}

@@ -3,6 +3,7 @@ package bat
 import (
 	"errors"
 	"math"
+	"runtime"
 
 	"libbat/internal/bitmap"
 	"libbat/internal/geom"
@@ -40,6 +41,40 @@ type Query struct {
 // error aborts the traversal.
 type Visitor func(p geom.Vec3, attrs []float64) error
 
+// QueryConfig tunes how a traversal executes. It never changes which
+// particles a query matches — only how the work is scheduled.
+//
+// The zero value is the serial engine: one goroutine, visits in
+// deterministic tree order, no readahead.
+type QueryConfig struct {
+	// Workers is the number of traversal goroutines. 0 or 1 selects the
+	// serial engine, whose visit sequence is identical to the pre-parallel
+	// reader. Negative selects GOMAXPROCS.
+	Workers int
+
+	// Ordered, when true with Workers > 1, delivers visits in the same
+	// deterministic treelet order as the serial engine (completed treelets
+	// are buffered until their turn). When false, visits arrive as treelets
+	// complete — same particle multiset, lower latency and memory.
+	Ordered bool
+
+	// Readahead is the number of upcoming candidate treelets to prefetch
+	// while one is being traversed (0 = off). Prefetches are best-effort
+	// and bounded; they only warm the cache.
+	Readahead int
+}
+
+// effectiveWorkers resolves the Workers field to a concrete count.
+func (c QueryConfig) effectiveWorkers() int {
+	if c.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.Workers == 0 {
+		return 1
+	}
+	return c.Workers
+}
+
 // qualityToDepth log-remaps a quality level in [0,1] to a continuous
 // treelet depth: the number of particles per level doubles, so quality q
 // maps to the depth t at which the cumulative particle count reaches a
@@ -75,27 +110,39 @@ func portion(d, depth int, frac float64) float64 {
 	}
 }
 
-// queryState is the precomputed filter state of one traversal.
+// queryState is the precomputed, read-only filter state of one traversal.
+// It is shared by every worker goroutine of a parallel query, so nothing
+// in it may be mutated after prepare returns.
 type queryState struct {
-	q           Query
-	masks       []bitmap.Bitmap // query bitmap per filter, in Filters order
-	prevD       int
-	prevF       float64
-	curD        int
-	curF        float64
-	visit       Visitor
-	numVisited  int64
-	numPruned   int64
-	numFalsePos int64
+	q     Query
+	masks []bitmap.Bitmap // query bitmap per filter, in Filters order
+	prevD int
+	prevF float64
+	curD  int
+	curF  float64
+}
+
+// traversalCounters accumulates per-traversal statistics. Each goroutine
+// owns its own instance; parallel runs merge them on delivery.
+type traversalCounters struct {
+	visited  int64
+	pruned   int64
+	falsePos int64
+}
+
+func (c *traversalCounters) add(o traversalCounters) {
+	c.visited += o.visited
+	c.pruned += o.pruned
+	c.falsePos += o.falsePos
 }
 
 // prepare validates the query against the file and computes the bitmap
 // masks. It reports whether the query can match anything at all.
-func (f *File) prepare(q Query, visit Visitor) (*queryState, bool) {
+func (f *File) prepare(q Query) (*queryState, bool) {
 	if q.Quality <= 0 {
 		q.Quality = 1
 	}
-	s := &queryState{q: q, visit: visit}
+	s := &queryState{q: q}
 	s.prevD, s.prevF = qualityToDepth(q.PrevQuality, f.MaxTreeletDepth)
 	s.curD, s.curF = qualityToDepth(q.Quality, f.MaxTreeletDepth)
 	if q.PrevQuality >= q.Quality {
@@ -155,8 +202,13 @@ type QueryStats struct {
 }
 
 // Query traverses the file, invoking visit for every particle matching the
-// query. Particles are visited treelet by treelet in increasing depth
-// order within each treelet.
+// query, using the File's configured QueryConfig (serial by default).
+// Particles are visited treelet by treelet in increasing depth order within
+// each treelet; with Workers > 1 and Ordered false, treelets may complete
+// out of order but the visited multiset is identical.
+//
+// Query is safe to call from multiple goroutines concurrently; the visitor
+// of any single call is never invoked concurrently with itself.
 func (f *File) Query(q Query, visit Visitor) error {
 	_, err := f.QueryWithStats(q, visit)
 	return err
@@ -164,52 +216,78 @@ func (f *File) Query(q Query, visit Visitor) error {
 
 // QueryWithStats is Query returning traversal statistics.
 func (f *File) QueryWithStats(q Query, visit Visitor) (QueryStats, error) {
-	s, ok := f.prepare(q, visit)
-	if !ok {
+	return f.QueryWithConfig(q, f.queryConfig(), visit)
+}
+
+// QueryWithConfig runs one traversal under an explicit QueryConfig,
+// overriding the File-level configuration.
+func (f *File) QueryWithConfig(q Query, cfg QueryConfig, visit Visitor) (QueryStats, error) {
+	s, ok := f.prepare(q)
+	if !ok || len(f.leaves) == 0 {
 		return QueryStats{}, nil
 	}
-	if len(f.leaves) == 0 {
-		return QueryStats{}, nil
-	}
-	var err error
-	if len(f.shallow) == 0 {
-		err = f.queryTreelet(s, 0)
-	} else {
-		err = f.queryShallow(s, 0, f.Domain, 0)
+	var tc traversalCounters
+	cands, err := f.selectTreelets(s, &tc)
+	if err == nil && len(cands) > 0 {
+		w := cfg.effectiveWorkers()
+		if w > len(cands) {
+			w = len(cands)
+		}
+		if w <= 1 {
+			err = f.runSerial(s, cands, cfg, &tc, visit)
+		} else {
+			err = f.runParallel(s, cands, cfg, w, &tc, visit)
+		}
 	}
 	return QueryStats{
-		Visited:        s.numVisited,
-		FalsePositives: s.numFalsePos,
-		PrunedSubtrees: s.numPruned,
+		Visited:        tc.visited,
+		FalsePositives: tc.falsePos,
+		PrunedSubtrees: tc.pruned,
 	}, err
 }
 
-// queryShallow walks the shallow tree, pruning by bounds and bitmaps.
-func (f *File) queryShallow(s *queryState, ref int32, bounds geom.Box, depth int) error {
-	if li, isLeaf := isShallowLeaf(ref); isLeaf {
-		if !s.nodePassesBitmaps(f, f.leaves[li].ids) {
-			s.numPruned++
+// selectTreelets walks the shallow tree serially — it is in-memory and tiny
+// relative to the treelets — pruning by bounds and bitmaps, and returns the
+// surviving treelet leaves in deterministic left-to-right order. This list
+// is the unit of parallelism: both engines traverse exactly these treelets,
+// the serial one in this order.
+func (f *File) selectTreelets(s *queryState, tc *traversalCounters) ([]int, error) {
+	if len(f.shallow) == 0 {
+		// Single-treelet file: the treelet's root node carries the bitmap
+		// summary, so traversal handles all pruning.
+		return []int{0}, nil
+	}
+	var out []int
+	var walk func(ref int32, bounds geom.Box, depth int) error
+	walk = func(ref int32, bounds geom.Box, depth int) error {
+		if li, isLeaf := isShallowLeaf(ref); isLeaf {
+			if !s.nodePassesBitmaps(f, f.leaves[li].ids) {
+				tc.pruned++
+				return nil
+			}
+			out = append(out, li)
 			return nil
 		}
-		return f.queryTreelet(s, li)
+		if depth > maxSaneDepth {
+			return errCyclicTreelet
+		}
+		n := &f.shallow[ref]
+		if s.q.Bounds != nil && !s.q.Bounds.Overlaps(bounds) {
+			tc.pruned++
+			return nil
+		}
+		if !s.nodePassesBitmaps(f, n.ids) {
+			tc.pruned++
+			return nil
+		}
+		lo, hi := bounds.SplitAt(n.axis, n.pos)
+		if err := walk(n.left, lo, depth+1); err != nil {
+			return err
+		}
+		return walk(n.right, hi, depth+1)
 	}
-	if depth > maxSaneDepth {
-		return errCyclicTreelet
-	}
-	n := &f.shallow[ref]
-	if s.q.Bounds != nil && !s.q.Bounds.Overlaps(bounds) {
-		s.numPruned++
-		return nil
-	}
-	if !s.nodePassesBitmaps(f, n.ids) {
-		s.numPruned++
-		return nil
-	}
-	lo, hi := bounds.SplitAt(n.axis, n.pos)
-	if err := f.queryShallow(s, n.left, lo, depth+1); err != nil {
-		return err
-	}
-	return f.queryShallow(s, n.right, hi, depth+1)
+	err := walk(0, f.Domain, 0)
+	return out, err
 }
 
 // isShallowLeaf decodes a shallow-tree child reference.
@@ -220,13 +298,21 @@ func isShallowLeaf(ref int32) (int, bool) {
 	return 0, false
 }
 
-// queryTreelet loads treelet li and walks it depth-first, emitting each
-// node's particle window for the progressive quality range.
-func (f *File) queryTreelet(s *queryState, li int) error {
-	t, err := f.loadTreelet(li)
-	if err != nil {
-		return err
-	}
+// emitFn receives each particle that passed the exact checks during one
+// treelet traversal. The serial engine calls the visitor directly; the
+// parallel engine appends to a batch for ordered delivery.
+type emitFn func(p geom.Vec3, t *parsedTreelet, pi uint32) error
+
+// errTraversalCancelled is returned (and swallowed by callers) when a
+// worker observes the shared cancel flag mid-treelet.
+var errTraversalCancelled = errors.New("bat: traversal cancelled")
+
+// traverseTreelet walks one parsed treelet depth-first, emitting each
+// node's particle window for the progressive quality range. It updates
+// tc.pruned/tc.falsePos; emit implementations account for visits. cancel,
+// when non-nil, is polled at each node so aborted parallel queries stop
+// promptly.
+func (s *queryState) traverseTreelet(f *File, t *parsedTreelet, tc *traversalCounters, emit emitFn, cancel *cancelFlag) error {
 	if len(t.nodes) == 0 {
 		return nil
 	}
@@ -239,9 +325,12 @@ func (f *File) queryTreelet(s *queryState, li int) error {
 		if depth > maxSaneDepth {
 			return errCyclicTreelet
 		}
+		if cancel.isSet() {
+			return errTraversalCancelled
+		}
 		n := &t.nodes[ni]
 		if !s.nodePassesBitmaps(f, n.ids) {
-			s.numPruned++
+			tc.pruned++
 			return nil
 		}
 		// Emit this node's particle window for the quality increment.
@@ -259,15 +348,10 @@ func (f *File) queryTreelet(s *queryState, li int) error {
 			for pi := n.start + lo; pi < n.start+hi; pi++ {
 				p := geom.V3(float64(t.x[pi]), float64(t.y[pi]), float64(t.z[pi]))
 				if !s.pointPasses(p, t, pi) {
-					s.numFalsePos++
+					tc.falsePos++
 					continue
 				}
-				attrs := make([]float64, len(t.attrs))
-				for a := range attrs {
-					attrs[a] = t.attrs[a][pi]
-				}
-				s.numVisited++
-				if err := s.visit(p, attrs); err != nil {
+				if err := emit(p, t, pi); err != nil {
 					return err
 				}
 			}
@@ -293,6 +377,40 @@ func (f *File) queryTreelet(s *queryState, li int) error {
 	return rec(0, 0)
 }
 
+// runSerial traverses the candidate treelets one by one on the calling
+// goroutine, with visit order identical to the pre-parallel reader. A
+// sliding readahead window keeps the next cfg.Readahead treelets warming
+// in the cache while the current one is walked.
+func (f *File) runSerial(s *queryState, cands []int, cfg QueryConfig, tc *traversalCounters, visit Visitor) error {
+	emit := func(p geom.Vec3, t *parsedTreelet, pi uint32) error {
+		attrs := make([]float64, len(t.attrs))
+		for a := range attrs {
+			attrs[a] = t.attrs[a][pi]
+		}
+		tc.visited++
+		return visit(p, attrs)
+	}
+	for i, li := range cands {
+		if cfg.Readahead > 0 {
+			if i == 0 {
+				for j := 1; j <= cfg.Readahead && j < len(cands); j++ {
+					f.prefetch(cands[j], cfg.Readahead)
+				}
+			} else if i+cfg.Readahead < len(cands) {
+				f.prefetch(cands[i+cfg.Readahead], cfg.Readahead)
+			}
+		}
+		t, err := f.loadTreelet(li)
+		if err != nil {
+			return err
+		}
+		if err := s.traverseTreelet(f, t, tc, emit, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // CollectBox gathers every particle inside bounds into a new set; this is
 // the spatial read used by the parallel read pipeline's data servers.
 func (f *File) CollectBox(bounds geom.Box) (*particles.Set, error) {
@@ -306,7 +424,6 @@ func (f *File) CollectBox(bounds geom.Box) (*particles.Set, error) {
 
 // ReadAll gathers every particle in the file into a new set.
 func (f *File) ReadAll() (*particles.Set, error) {
-	//batlint:ignore uintcast NumParticles is bounded by the file size in Decode
 	out := particles.NewSet(f.Schema, int(f.NumParticles))
 	err := f.Query(Query{}, func(p geom.Vec3, attrs []float64) error {
 		out.Append(p, attrs)

@@ -18,6 +18,7 @@ import (
 	"libbat/internal/checksum"
 	"libbat/internal/geom"
 	"libbat/internal/mmapio"
+	"libbat/internal/obs"
 	"libbat/internal/particles"
 )
 
@@ -87,8 +88,23 @@ type File struct {
 
 	closer io.Closer
 
-	mu    sync.Mutex
-	cache map[int]*parsedTreelet
+	// cache holds parsed treelets: sharded, singleflight, LRU-bounded.
+	// Parsed treelets are immutable, so File is safe for concurrent
+	// queries; Close must not race in-flight queries (the caller — e.g.
+	// batserve's open/close RWMutex — sequences lifecycle vs. use).
+	cache *treeletCache
+
+	// qcfg is the default execution policy for Query/QueryWithStats;
+	// qcfgMu guards it so SetQueryConfig is safe alongside queries.
+	qcfgMu sync.Mutex
+	qcfg   QueryConfig
+
+	// prefetches tracks readahead goroutines so Close can wait them out
+	// instead of unmapping a buffer a prefetch is still parsing.
+	prefetches sync.WaitGroup
+	// prefetchSlots bounds in-flight readahead; nil until first use.
+	prefetchMu    sync.Mutex
+	prefetchSlots chan struct{}
 }
 
 // cursor reads sequentially from an io.ReaderAt, buffering ahead.
@@ -217,7 +233,7 @@ func Decode(src io.ReaderAt, size int64) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &File{src: src, size: size, Version: int(ver), cache: make(map[int]*parsedTreelet)}
+	f := &File{src: src, size: size, Version: int(ver), cache: newTreeletCache()}
 	f.Quantized = flags&flagQuantized != 0
 	if f.NumParticles, err = c.u64(); err != nil {
 		return nil, err
@@ -471,7 +487,6 @@ func (f *File) Verify() error {
 	}
 	for ti, ref := range f.leaves {
 		buf := make([]byte, ref.byteLen)
-		//batlint:ignore uintcast offset+byteLen are bounded by the file size in Decode
 		if _, err := f.src.ReadAt(buf, int64(ref.offset)); err != nil && err != io.EOF {
 			return fmt.Errorf("bat: verify treelet %d: %w", ti, err)
 		}
@@ -561,8 +576,11 @@ func Open(path string) (*File, error) {
 	return f, nil
 }
 
-// Close releases the underlying file, if any.
+// Close releases the underlying file, if any. It waits out in-flight
+// readahead goroutines first; callers must still not race Close with
+// in-flight Query calls.
 func (f *File) Close() error {
+	f.prefetches.Wait()
 	if f.closer != nil {
 		return f.closer.Close()
 	}
@@ -597,18 +615,73 @@ func (f *File) RootBitmaps() []bitmap.Bitmap {
 	return out
 }
 
-// loadTreelet parses (and caches) treelet ti.
-func (f *File) loadTreelet(ti int) (*parsedTreelet, error) {
-	f.mu.Lock()
-	if t, ok := f.cache[ti]; ok {
-		f.mu.Unlock()
-		return t, nil
-	}
-	f.mu.Unlock()
+// SetCacheLimit bounds the treelet cache to roughly limit bytes of parsed
+// treelets (0, the default, is unbounded). Least-recently-used treelets
+// are evicted when the budget is exceeded. Safe to call concurrently with
+// queries; the new budget applies from the next load on.
+func (f *File) SetCacheLimit(limit int64) { f.cache.limit.Store(limit) }
 
+// SetObserver mirrors the treelet cache's hit/miss/eviction counters into
+// col as bat_treelet_cache_{hits,misses,evictions}_total, tagged with the
+// given labels. Call before queries start; nil col detaches.
+func (f *File) SetObserver(col *obs.Collector, labels ...obs.Label) {
+	f.cache.setObserver(col, labels...)
+}
+
+// CacheStats snapshots the treelet cache counters.
+func (f *File) CacheStats() CacheStats { return f.cache.stats() }
+
+// SetQueryConfig sets the default execution policy used by Query,
+// QueryWithStats, and the helpers built on them (ReadAll, CollectBox,
+// CountMatching). The zero value is the serial engine.
+func (f *File) SetQueryConfig(cfg QueryConfig) {
+	f.qcfgMu.Lock()
+	f.qcfg = cfg
+	f.qcfgMu.Unlock()
+}
+
+// queryConfig returns the File's default execution policy.
+func (f *File) queryConfig() QueryConfig {
+	f.qcfgMu.Lock()
+	defer f.qcfgMu.Unlock()
+	return f.qcfg
+}
+
+// loadTreelet returns treelet ti, parsing it through the cache: concurrent
+// callers of a cold treelet share one parse, and repeat callers share the
+// immutable in-memory form.
+func (f *File) loadTreelet(ti int) (*parsedTreelet, error) {
+	return f.cache.get(ti, func() (*parsedTreelet, error) { return f.parseTreelet(ti) })
+}
+
+// prefetch schedules a bounded background load of treelet ti (readahead
+// for box traversals). Best-effort: when every readahead slot is busy the
+// prefetch is skipped rather than queued.
+func (f *File) prefetch(ti int, slots int) {
+	f.prefetchMu.Lock()
+	if f.prefetchSlots == nil {
+		f.prefetchSlots = make(chan struct{}, slots)
+	}
+	f.prefetchMu.Unlock()
+	select {
+	case f.prefetchSlots <- struct{}{}:
+	default:
+		return
+	}
+	f.prefetches.Add(1)
+	go func() {
+		defer f.prefetches.Done()
+		// The treelet lands in the cache (or the error is dropped; the
+		// demand load will surface it); readahead is purely a warm-up.
+		f.loadTreelet(ti)
+		<-f.prefetchSlots
+	}()
+}
+
+// parseTreelet reads and parses treelet ti from the underlying source.
+func (f *File) parseTreelet(ti int) (*parsedTreelet, error) {
 	ref := f.leaves[ti]
 	buf := make([]byte, ref.byteLen)
-	//batlint:ignore uintcast offset+byteLen are bounded by the file size in Decode
 	if _, err := f.src.ReadAt(buf, int64(ref.offset)); err != nil {
 		return nil, fmt.Errorf("bat: reading treelet %d: %w", ti, err)
 	}
@@ -748,8 +821,5 @@ func (f *File) loadTreelet(ti int) (*parsedTreelet, error) {
 		}
 		t.attrs[a] = vals
 	}
-	f.mu.Lock()
-	f.cache[ti] = t
-	f.mu.Unlock()
 	return t, nil
 }

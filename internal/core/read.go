@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"time"
 
 	"libbat/internal/bat"
@@ -124,11 +126,19 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 	}
 
 	// Serve queries for the leaves assigned to this rank while collecting
-	// replies; cache opened files across queries. Errors must not abandon
-	// the collective protocol — the rank keeps serving and answering with
-	// error replies so every rank exits the loop. A damaged leaf costs
-	// only that leaf (recorded per requester in LeafErrors); protocol
-	// corruption (an undecodable query) fails the rank outright.
+	// replies. Leaf work — opening, decoding, and traversing files — runs on
+	// a worker pool so one rank services many in-flight client queries and
+	// many of its own files concurrently; opened files are cached across
+	// queries with singleflight deduplication. The fabric communicator is
+	// documented single-goroutine, so this main loop remains the only
+	// goroutine touching c: it receives queries, feeds the pool, sends the
+	// pool's finished replies, and collects this rank's own replies.
+	//
+	// Errors must not abandon the collective protocol — the rank keeps
+	// serving and answering with error replies so every rank exits the
+	// loop. A damaged leaf costs only that leaf (recorded per requester in
+	// LeafErrors); protocol corruption (an undecodable query) fails the
+	// rank outright.
 	var firstErr error
 	note := func(err error) {
 		if err != nil && firstErr == nil {
@@ -147,22 +157,62 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 			firstLeafErr = err
 		}
 	}
-	files := map[int]*bat.File{}
-	defer func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}()
+	lf := newLeafFiles()
+	defer lf.closeAll()
 	served := c.Observer().Counter("core_queries_served_total", obs.Rank(c.Rank()))
 	replyBytes := c.Observer().Counter("core_reply_bytes_total", obs.Rank(c.Rank()))
-	serveOne := func() bool {
+
+	nWorkers := runtime.GOMAXPROCS(0)
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	jobs := make(chan serveJob, nWorkers)
+	results := make(chan serveResult, 2*nWorkers)
+	var workers sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for j := range jobs {
+				results <- serveLeafJob(col, c.Rank(), store, m, lf, j)
+			}
+		}()
+	}
+
+	// Queue this rank's own leaves up front (§IV-B: "if a rank requires
+	// data from itself, it performs these queries locally") so local file
+	// work overlaps the wait for remote replies.
+	var jobQueue []serveJob
+	selfPending := 0
+	for _, li := range selfLeaves {
+		jobQueue = append(jobQueue, serveJob{source: -1, leaf: li, q: q})
+		selfPending++
+		served.Inc()
+	}
+
+	applyResult := func(r serveResult) {
+		stats.FileRead += r.fileRead
+		if r.opened {
+			stats.NumFiles++
+		}
+		if r.source < 0 {
+			selfPending--
+			if r.err != nil {
+				noteLeaf(r.leaf, r.err)
+			} else {
+				out.AppendSet(r.sub)
+			}
+			return
+		}
+		replyBytes.Add(int64(len(r.reply)))
+		c.Isend(r.source, tagReply, r.reply)
+	}
+	acceptOne := func() bool {
 		st, ok := c.Probe(fabric.AnySource, tagQuery)
 		if !ok {
 			return false
 		}
 		raw, _ := c.Recv(st.Source, tagQuery)
-		sp := col.Start(c.Rank(), "read.serve")
-		defer sp.End()
 		served.Inc()
 		var rq queryMsg
 		if err := decode(raw, &rq); err != nil {
@@ -170,16 +220,7 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 			c.Isend(st.Source, tagReply, replyError(-1, err))
 			return true
 		}
-		sub, err := queryLeaf(store, m, files, rq.Leaf, rq.toBAT(), stats)
-		if err != nil {
-			// The requester records the leaf failure; serving it must not
-			// poison this rank's own read.
-			c.Isend(st.Source, tagReply, replyError(rq.Leaf, err))
-			return true
-		}
-		reply := replyData(rq.Leaf, sub)
-		replyBytes.Add(int64(len(reply)))
-		c.Isend(st.Source, tagReply, reply)
+		jobQueue = append(jobQueue, serveJob{source: st.Source, leaf: rq.Leaf, q: rq.toBAT()})
 		return true
 	}
 	recvOne := func() bool {
@@ -201,35 +242,66 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 		return true
 	}
 
-	// Answer self-queries once, locally (§IV-B: "if a rank requires data
-	// from itself, it performs these queries locally").
-	for _, li := range selfLeaves {
-		sp := col.Start(c.Rank(), "read.serve")
-		sub, err := queryLeaf(store, m, files, li, q, stats)
-		sp.End()
-		served.Inc()
-		if err != nil {
-			noteLeaf(li, err)
-			continue
-		}
-		out.AppendSet(sub)
-	}
-
 	var barrier *fabric.BarrierRequest
 	for {
-		served := serveOne()
-		received := recvOne()
-		if barrier == nil && pending == 0 {
-			// All of this rank's data has arrived: enter the nonblocking
-			// barrier and keep serving until everyone is done.
+		progress := false
+		for acceptOne() {
+			progress = true
+		}
+		for len(jobQueue) > 0 {
+			select {
+			case jobs <- jobQueue[0]:
+				jobQueue = jobQueue[1:]
+				progress = true
+				continue
+			default:
+			}
+			break
+		}
+		for {
+			select {
+			case r := <-results:
+				applyResult(r)
+				progress = true
+				continue
+			default:
+			}
+			break
+		}
+		if recvOne() {
+			progress = true
+		}
+		if barrier == nil && pending == 0 && selfPending == 0 {
+			// All of this rank's data has arrived and its own leaves are
+			// answered: enter the nonblocking barrier and keep serving
+			// until everyone is done.
 			barrier = c.Ibarrier()
 		}
 		if barrier != nil && barrier.Test() {
 			break
 		}
-		if !served && !received {
+		if !progress {
 			time.Sleep(20 * time.Microsecond)
 		}
+	}
+	// Barrier completion implies every rank received every reply, so no
+	// remote job can still be queued or in flight; drain defensively all
+	// the same so a protocol bug degrades to extra replies, never a hang.
+	for len(jobQueue) > 0 {
+		select {
+		case jobs <- jobQueue[0]:
+			jobQueue = jobQueue[1:]
+		case r := <-results:
+			applyResult(r)
+		}
+	}
+	close(jobs)
+	go func() {
+		workers.Wait()
+		close(results)
+	}()
+	for r := range results {
+		applyResult(r)
 	}
 	if firstErr != nil {
 		return nil, nil, firstErr
@@ -303,34 +375,132 @@ func readMeta(store pfs.Storage, name string) (m *meta.Meta, err error) {
 	return meta.Decode(buf)
 }
 
-// queryLeaf answers one query against a leaf file, opening (and caching)
-// it on first use.
-func queryLeaf(store pfs.Storage, m *meta.Meta, files map[int]*bat.File,
-	li int, q bat.Query, stats *ReadStats) (*particles.Set, error) {
+// serveJob is one leaf query for the aggregator worker pool: a remote
+// rank's request, or (source == -1) one of this rank's own leaves.
+type serveJob struct {
+	source int
+	leaf   int
+	q      bat.Query
+}
 
+// serveResult is a finished serveJob. Remote jobs carry the encoded wire
+// reply for the main loop to Isend; self jobs carry the particle set (or
+// error) directly.
+type serveResult struct {
+	source   int
+	leaf     int
+	reply    []byte
+	sub      *particles.Set
+	err      error
+	opened   bool // this job opened the leaf file (counts toward NumFiles)
+	fileRead time.Duration
+}
+
+// serveLeafJob runs on a pool worker: open/traverse the leaf and package
+// the outcome. It never touches the communicator.
+func serveLeafJob(col *obs.Collector, rank int, store pfs.Storage, m *meta.Meta, lf *leafFiles, j serveJob) serveResult {
+	sp := col.Start(rank, "read.serve")
+	defer sp.End()
 	start := time.Now()
-	f, ok := files[li]
-	if !ok {
+	sub, opened, err := queryLeaf(store, m, lf, j.leaf, j.q)
+	res := serveResult{source: j.source, leaf: j.leaf, opened: opened, fileRead: time.Since(start)}
+	if j.source < 0 {
+		res.sub, res.err = sub, err
+		return res
+	}
+	if err != nil {
+		// The requester records the leaf failure; serving it must not
+		// poison this rank's own read.
+		res.reply = replyError(j.leaf, err)
+	} else {
+		res.reply = replyData(j.leaf, sub)
+	}
+	return res
+}
+
+// leafFiles is the aggregator's concurrent open-file cache: each leaf is
+// opened exactly once (singleflight) and shared by every job that needs
+// it. Open errors are not cached, so a flaky open is retried by the next
+// query instead of poisoning the leaf for the rest of the read.
+type leafFiles struct {
+	mu sync.Mutex
+	m  map[int]*leafFileSlot
+}
+
+type leafFileSlot struct {
+	ready chan struct{}
+	f     *bat.File
+	err   error
+}
+
+func newLeafFiles() *leafFiles { return &leafFiles{m: map[int]*leafFileSlot{}} }
+
+// get returns leaf li's open file, calling open at most once concurrently.
+// opened reports whether this call performed the open.
+func (lf *leafFiles) get(li int, open func() (*bat.File, error)) (f *bat.File, opened bool, err error) {
+	lf.mu.Lock()
+	if s, ok := lf.m[li]; ok {
+		lf.mu.Unlock()
+		<-s.ready
+		return s.f, false, s.err
+	}
+	s := &leafFileSlot{ready: make(chan struct{})}
+	lf.m[li] = s
+	lf.mu.Unlock()
+	s.f, s.err = open()
+	if s.err != nil {
+		lf.mu.Lock()
+		if lf.m[li] == s {
+			delete(lf.m, li)
+		}
+		lf.mu.Unlock()
+	}
+	close(s.ready)
+	return s.f, s.err == nil, s.err
+}
+
+// closeAll closes every cached file, waiting out any still mid-open.
+func (lf *leafFiles) closeAll() {
+	lf.mu.Lock()
+	slots := make([]*leafFileSlot, 0, len(lf.m))
+	for _, s := range lf.m {
+		slots = append(slots, s)
+	}
+	lf.m = map[int]*leafFileSlot{}
+	lf.mu.Unlock()
+	for _, s := range slots {
+		<-s.ready
+		if s.err == nil && s.f != nil {
+			s.f.Close()
+		}
+	}
+}
+
+// queryLeaf answers one query against a leaf file, opening (and caching)
+// it in lf on first use.
+func queryLeaf(store pfs.Storage, m *meta.Meta, lf *leafFiles, li int, q bat.Query) (*particles.Set, bool, error) {
+	f, opened, err := lf.get(li, func() (*bat.File, error) {
 		handle, err := store.Open(m.Leaves[li].FileName)
 		if err != nil {
 			return nil, fmt.Errorf("core: opening leaf %d: %w", li, err)
 		}
-		f, err = bat.Decode(handle, handle.Size())
+		bf, err := bat.Decode(handle, handle.Size())
 		if err != nil {
 			if cerr := handle.Close(); cerr != nil {
 				err = errors.Join(err, cerr)
 			}
 			return nil, fmt.Errorf("core: parsing leaf %d: %w", li, err)
 		}
-		f.SetCloser(handle)
-		files[li] = f
-		stats.NumFiles++
+		bf.SetCloser(handle)
+		return bf, nil
+	})
+	if err != nil {
+		return nil, opened, err
 	}
 	sub := particles.NewSet(f.Schema, 0)
-	err := f.Query(q, func(p geom.Vec3, attrs []float64) error {
+	qerr := f.Query(q, func(p geom.Vec3, attrs []float64) error {
 		sub.Append(p, attrs)
 		return nil
 	})
-	stats.FileRead += time.Since(start)
-	return sub, err
+	return sub, opened, qerr
 }

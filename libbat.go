@@ -20,15 +20,18 @@
 package libbat
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"libbat/internal/bat"
 	"libbat/internal/core"
 	"libbat/internal/fabric"
 	"libbat/internal/geom"
 	"libbat/internal/meta"
+	"libbat/internal/obs"
 	"libbat/internal/particles"
 	"libbat/internal/pfs"
 )
@@ -66,6 +69,13 @@ type (
 	AttrFilter = bat.AttrFilter
 	// Visitor receives query results.
 	Visitor = bat.Visitor
+	// QueryConfig tunes query execution: traversal workers, ordered vs.
+	// order-tolerant delivery, and treelet readahead.
+	QueryConfig = bat.QueryConfig
+	// QueryStats reports what a traversal visited, rejected, and pruned.
+	QueryStats = bat.QueryStats
+	// CacheStats snapshots treelet cache hit/miss/eviction counters.
+	CacheStats = bat.CacheStats
 	// Layout is the pluggable leaf file format (paper §VII extension);
 	// the default is the BAT.
 	Layout = core.Layout
@@ -199,10 +209,31 @@ const metaSuffix = ".batm"
 
 // Dataset is single-process read access to a written dataset, treating the
 // whole collection of leaf files as one queryable store (paper §III-D, §V).
+//
+// A Dataset is safe for concurrent use: any number of goroutines may run
+// Query/Count/ReadAll/Histogram at the same time. Leaf files are opened
+// lazily with singleflight deduplication, and each leaf's treelet cache is
+// itself concurrent. Close must not be called while queries are in flight
+// (servers should fence it with their own lock, as cmd/batserve does).
 type Dataset struct {
 	store pfs.Storage
 	meta  *meta.Meta
-	files map[int]*bat.File
+
+	mu         sync.Mutex // guards files and the config fields below
+	files      map[int]*leafSlot
+	qcfg       QueryConfig
+	cacheLimit int64 // total budget across leaves; 0 = unbounded
+	col        *obs.Collector
+	obsLabels  []obs.Label
+}
+
+// leafSlot is one leaf file's singleflight slot: ready is closed once f/err
+// are set, so concurrent queries needing the same unopened leaf open it
+// exactly once and share the handle.
+type leafSlot struct {
+	ready chan struct{}
+	f     *bat.File
+	err   error
 }
 
 // OpenDataset opens the dataset written under base in store.
@@ -220,7 +251,7 @@ func OpenDataset(store Storage, base string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{store: store, meta: m, files: make(map[int]*bat.File)}, nil
+	return &Dataset{store: store, meta: m, files: make(map[int]*leafSlot)}, nil
 }
 
 func readFull(f pfs.File, buf []byte) (int, error) {
@@ -231,16 +262,109 @@ func readFull(f pfs.File, buf []byte) (int, error) {
 	return n, err
 }
 
-// Close releases all opened leaf files.
+// Close releases all opened leaf files, waiting for any still mid-open.
 func (d *Dataset) Close() error {
-	var first error
-	for _, f := range d.files {
-		if err := f.Close(); err != nil && first == nil {
-			first = err
+	d.mu.Lock()
+	files := d.files
+	d.files = make(map[int]*leafSlot)
+	d.mu.Unlock()
+	var errs []error
+	for _, s := range files {
+		<-s.ready
+		if s.err == nil && s.f != nil {
+			errs = append(errs, s.f.Close())
 		}
 	}
-	d.files = map[int]*bat.File{}
-	return first
+	return errors.Join(errs...)
+}
+
+// SetQueryConfig sets the traversal configuration applied to every leaf
+// query (existing and future opens). Safe to call concurrently with
+// queries; in-flight traversals keep their old configuration.
+func (d *Dataset) SetQueryConfig(cfg QueryConfig) {
+	d.mu.Lock()
+	d.qcfg = cfg
+	slots := d.openSlotsLocked()
+	d.mu.Unlock()
+	for _, s := range slots {
+		<-s.ready
+		if s.err == nil {
+			s.f.SetQueryConfig(cfg)
+		}
+	}
+}
+
+// SetCacheLimit bounds the total treelet-cache memory across all leaf
+// files (0 = unbounded). The budget is split evenly per leaf.
+func (d *Dataset) SetCacheLimit(bytes int64) {
+	d.mu.Lock()
+	d.cacheLimit = bytes
+	per := d.perLeafLimitLocked()
+	slots := d.openSlotsLocked()
+	d.mu.Unlock()
+	for _, s := range slots {
+		<-s.ready
+		if s.err == nil {
+			s.f.SetCacheLimit(per)
+		}
+	}
+}
+
+// SetObserver mirrors per-leaf treelet cache counters into col.
+func (d *Dataset) SetObserver(col *obs.Collector, labels ...obs.Label) {
+	d.mu.Lock()
+	d.col, d.obsLabels = col, labels
+	slots := d.openSlotsLocked()
+	d.mu.Unlock()
+	for _, s := range slots {
+		<-s.ready
+		if s.err == nil {
+			s.f.SetObserver(col, labels...)
+		}
+	}
+}
+
+// CacheStats aggregates treelet cache counters across open leaf files.
+func (d *Dataset) CacheStats() CacheStats {
+	d.mu.Lock()
+	slots := d.openSlotsLocked()
+	d.mu.Unlock()
+	var total CacheStats
+	for _, s := range slots {
+		<-s.ready
+		if s.err == nil {
+			st := s.f.CacheStats()
+			total.Hits += st.Hits
+			total.Misses += st.Misses
+			total.Evictions += st.Evictions
+			total.Entries += st.Entries
+			total.Bytes += st.Bytes
+		}
+	}
+	return total
+}
+
+func (d *Dataset) openSlotsLocked() []*leafSlot {
+	out := make([]*leafSlot, 0, len(d.files))
+	for _, s := range d.files {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (d *Dataset) perLeafLimitLocked() int64 {
+	if d.cacheLimit <= 0 {
+		return 0
+	}
+	n := int64(len(d.meta.Leaves))
+	if n < 1 {
+		n = 1
+	}
+	per := d.cacheLimit / n
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 // Schema returns the dataset's attribute schema.
@@ -264,11 +388,34 @@ func (d *Dataset) AttrRange(attr int) (min, max float64, err error) {
 	return r.Min, r.Max, nil
 }
 
-// leaf opens (and caches) leaf file li.
+// leaf opens (and caches) leaf file li. Concurrent callers for the same
+// unopened leaf block on one open; open errors are not cached, so the next
+// caller retries.
 func (d *Dataset) leaf(li int) (*bat.File, error) {
-	if f, ok := d.files[li]; ok {
-		return f, nil
+	d.mu.Lock()
+	if s, ok := d.files[li]; ok {
+		d.mu.Unlock()
+		<-s.ready
+		return s.f, s.err
 	}
+	s := &leafSlot{ready: make(chan struct{})}
+	d.files[li] = s
+	cfg, per, col, labels := d.qcfg, d.perLeafLimitLocked(), d.col, d.obsLabels
+	d.mu.Unlock()
+
+	s.f, s.err = d.openLeaf(li, cfg, per, col, labels)
+	if s.err != nil {
+		d.mu.Lock()
+		if d.files[li] == s {
+			delete(d.files, li)
+		}
+		d.mu.Unlock()
+	}
+	close(s.ready)
+	return s.f, s.err
+}
+
+func (d *Dataset) openLeaf(li int, cfg QueryConfig, cacheLimit int64, col *obs.Collector, labels []obs.Label) (*bat.File, error) {
 	h, err := d.store.Open(d.meta.Leaves[li].FileName)
 	if err != nil {
 		return nil, err
@@ -279,7 +426,11 @@ func (d *Dataset) leaf(li int) (*bat.File, error) {
 		return nil, err
 	}
 	f.SetCloser(h)
-	d.files[li] = f
+	f.SetQueryConfig(cfg)
+	f.SetCacheLimit(cacheLimit)
+	if col != nil {
+		f.SetObserver(col, labels...)
+	}
 	return f, nil
 }
 

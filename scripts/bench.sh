@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate the read-path benchmark baseline (BENCH_read.json at the repo
+# root). Run on a quiet machine; the numbers are recorded for trajectory
+# comparison across PRs, never gated on in CI.
+#
+# Usage:
+#   scripts/bench.sh                # write BENCH_read.json at the repo root
+#   scripts/bench.sh /tmp/out.json  # write elsewhere (e.g. CI smoke check)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_read.json}"
+particles="${READBENCH_PARTICLES:-400000}"
+
+go run ./cmd/batbench -readbench -readbench-out "$out" -read-particles "$particles"

@@ -46,9 +46,33 @@ run "go test -race TestChaos" go test -race -run 'TestChaos' ./internal/core/
 # even on single-core CI runners.
 run "go test -race TestBuildDeterminism" env GOMAXPROCS=4 go test -race -run 'TestBuildDeterminism' ./internal/bat/
 
+# The concurrent query engine under the race detector: shared-File queries,
+# parallel-vs-serial multiset identity, the treelet cache singleflight, and
+# the batserve overlapping-request tests. GOMAXPROCS forced above 1 so the
+# traversal workers genuinely interleave on single-core runners.
+run "go test -race query engine" env GOMAXPROCS=4 go test -race -run 'TestConcurrent|TestParallel|TestOrdered|TestCache|TestFileCache|TestReadahead|TestCloseWaits|TestFileLevel' ./internal/bat/
+run "go test -race batserve" env GOMAXPROCS=4 go test -race ./cmd/batserve/
+run "go test -race Dataset" env GOMAXPROCS=4 go test -race -run 'TestDataset' .
+
 # Bench smoke: one iteration of every BAT build benchmark, just to keep the
 # benchmark code compiling and runnable (no timing assertions).
 run "bench smoke BenchmarkBATBuild" go test -run=NONE -bench=BATBuild -benchtime=1x ./internal/bat/
+
+# Read-path bench smoke: run the query benchmark at a small scale into a
+# temp file and require only that a well-formed report is produced — the
+# readbench validates its own JSON on the way out. Never gates on speed.
+readbench_smoke() {
+	out="$(mktemp)" || return 1
+	if ! go run ./cmd/batbench -readbench -readbench-out "$out" -read-particles 50000 >/dev/null; then
+		rm -f "$out"
+		return 1
+	fi
+	test -s "$out"
+	rc=$?
+	rm -f "$out"
+	return $rc
+}
+run "bench smoke readbench" readbench_smoke
 
 # Short fuzz pass over both on-disk format parsers: seconds, not a soak —
 # enough to catch parser regressions on the corpus + fresh mutations.
