@@ -22,6 +22,7 @@ import (
 	"libbat"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -84,8 +85,13 @@ func main() {
 		readBench = flag.Bool("readbench", false, "run the query-path benchmark and emit a JSON report")
 		readOut   = flag.String("readbench-out", "BENCH_read.json", "output path for the -readbench report")
 		readScale = flag.Int("read-particles", 400_000, "particles for the -readbench corpus")
+		printMax  = flag.Bool("print-gomaxprocs", false, "print effective GOMAXPROCS and exit (scripts/bench.sh)")
 	)
 	flag.Parse()
+	if *printMax {
+		fmt.Println(runtime.GOMAXPROCS(0))
+		return
+	}
 	if *buildWkrs < 0 {
 		fmt.Fprintf(os.Stderr, "batbench: -build-workers must be >= 0, got %d\n", *buildWkrs)
 		os.Exit(2)

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"libbat/internal/obs/access"
+	"libbat/internal/pfs"
+)
+
+// printAccess summarizes a dataset's access-telemetry sidecar: lifetime
+// totals, the hottest treelets and heatmap cells (with their spatial
+// bounds), per-attribute touch counts, and the tail of the query log.
+func printAccess(w io.Writer, store pfs.Storage, name string) error {
+	f, err := store.Open(access.SidecarName(name))
+	if err != nil {
+		return fmt.Errorf("no access sidecar for %s (batserve -access-persist or batread -access-out writes one): %w", name, err)
+	}
+	buf := make([]byte, f.Size())
+	_, rerr := f.ReadAt(buf, 0)
+	if rerr == io.EOF {
+		rerr = nil
+	}
+	if err := errors.Join(rerr, f.Close()); err != nil {
+		return err
+	}
+	s, err := access.Unmarshal(buf)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "access telemetry for %s\n", s.Dataset)
+	if s.WallUnix != 0 {
+		fmt.Fprintf(w, "  snapshot taken: %s\n", time.Unix(s.WallUnix, 0).UTC().Format(time.RFC3339))
+	}
+	fmt.Fprintf(w, "  queries: %d\n", s.Queries)
+	fmt.Fprintf(w, "  treelet touches: %d hits, %d loads, %d bytes scanned\n",
+		s.TreeletHits, s.TreeletLoads, s.TreeletBytes)
+
+	if hot := s.HotTreelets(10); len(hot) > 0 {
+		fmt.Fprintf(w, "  hottest treelets (%d total):\n", len(s.Treelets))
+		for _, t := range hot {
+			fmt.Fprintf(w, "    leaf %3d treelet %4d: %6d hits, %3d loads, %9d bytes\n",
+				t.Leaf, t.Treelet, t.Hits, t.Loads, t.Bytes)
+		}
+	}
+	if hot := s.HotCells(10); len(hot) > 0 {
+		fmt.Fprintf(w, "  hottest heatmap cells (grid depth %d, %d non-empty):\n",
+			s.GridBits, len(s.Heatmap))
+		for _, h := range hot {
+			b := s.CellBox(h.Cell)
+			fmt.Fprintf(w, "    cell %5d: %6d touches  [%g %g %g]..[%g %g %g]\n",
+				h.Cell, h.Count, b.Lower.X, b.Lower.Y, b.Lower.Z, b.Upper.X, b.Upper.Y, b.Upper.Z)
+		}
+	}
+	if len(s.Attrs) > 0 {
+		fmt.Fprintf(w, "  attribute filter touches:\n")
+		for _, a := range s.Attrs {
+			fmt.Fprintf(w, "    %-12s %d\n", a.Name, a.Count)
+		}
+	}
+	if n := len(s.Recent); n > 0 {
+		show := s.Recent
+		if len(show) > 10 {
+			show = show[len(show)-10:]
+		}
+		fmt.Fprintf(w, "  recent queries (%d retained, newest last):\n", n)
+		for _, q := range show {
+			box := "full domain"
+			if q.Box != nil {
+				box = fmt.Sprintf("[%g %g %g]..[%g %g %g]",
+					q.Box[0], q.Box[1], q.Box[2], q.Box[3], q.Box[4], q.Box[5])
+			}
+			fmt.Fprintf(w, "    %-18s %s quality %.2f: %d treelets, %d particles, %.1fms\n",
+				q.Source, box, q.Quality, q.Treelets, q.Particles, q.Seconds*1e3)
+		}
+	}
+	return nil
+}

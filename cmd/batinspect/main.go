@@ -30,6 +30,7 @@ func main() {
 		leaf   = flag.Int("leaf", -1, "inspect one leaf BAT file")
 		tree   = flag.Bool("tree", false, "print the aggregation tree hierarchy")
 		verify = flag.Bool("verify", false, "verify all checksums in the dataset; exit non-zero on corruption")
+		accessF = flag.Bool("access", false, "print the dataset's access-telemetry sidecar (batserve -access-persist / batread -access-out)")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -42,6 +43,12 @@ func main() {
 	store, err := pfs.NewOS(*in)
 	if err != nil {
 		fail(err)
+	}
+	if *accessF {
+		if err := printAccess(os.Stdout, store, *name); err != nil {
+			fail(err)
+		}
+		return
 	}
 	mf, err := store.Open(core.MetaFileName(*name))
 	if err != nil {

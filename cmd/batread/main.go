@@ -62,6 +62,7 @@ func main() {
 		cacheMB  = flag.Int64("cache-mb", 0, "treelet cache budget in MiB for -count (0 = unbounded)")
 		statsOut = flag.String("stats", "", "write telemetry counters/histograms/spans as JSON to this file")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
+		accessOut = flag.String("access-out", "", "write the access-telemetry snapshot as a .bata sidecar to this file (batinspect -access reads it)")
 	)
 	flag.Var(&filters, "filter", "attribute filter attr,min,max (repeatable, with -count)")
 	flag.Parse()
@@ -88,6 +89,24 @@ func main() {
 			fail(err)
 		}
 	}
+	// writeAccess persists the access-telemetry snapshot as a sidecar file
+	// (same format batserve -access-persist writes and batinspect -access
+	// reads).
+	writeAccess := func(rec *libbat.AccessRecorder) {
+		if *accessOut == "" {
+			return
+		}
+		if rec == nil {
+			fail(fmt.Errorf("-access-out: no access telemetry was recorded"))
+		}
+		buf, err := rec.Snapshot().Marshal()
+		if err == nil {
+			err = os.WriteFile(*accessOut, buf, 0o644)
+		}
+		if err != nil {
+			fail(err)
+		}
+	}
 
 	if *count {
 		ds, err := libbat.OpenDataset(store, *name)
@@ -106,6 +125,9 @@ func main() {
 		if col != nil {
 			ds.SetObserver(col)
 		}
+		if *accessOut != "" {
+			ds.SetAccessRecorder(libbat.NewAccessRecorder(*name, ds.Bounds(), libbat.AccessOptions{}))
+		}
 		n, err := ds.Count(libbat.Query{Filters: filters, Quality: *quality})
 		if err != nil {
 			fail(err)
@@ -113,6 +135,7 @@ func main() {
 		fmt.Printf("%d of %d particles match (quality %.2f, %d filters)\n",
 			n, ds.NumParticles(), *quality, len(filters))
 		dump()
+		writeAccess(ds.AccessRecorder())
 		return
 	}
 
@@ -140,6 +163,11 @@ func main() {
 	start := time.Now()
 	f := libbat.NewFabric(*ranks)
 	f.SetObserver(col)
+	var accessReg *libbat.AccessRegistry
+	if *accessOut != "" {
+		accessReg = libbat.NewAccessRegistry(libbat.AccessOptions{})
+		f.SetAccessRegistry(accessReg)
+	}
 	err = f.Run(func(c *libbat.Comm) error {
 		// Each reader takes a slab of the domain along the longest axis.
 		axis := domain.LongestAxis()
@@ -168,4 +196,7 @@ func main() {
 	fmt.Printf("read %d particles (dataset holds %d) on %d ranks in %v\n",
 		sumParticles, total, *ranks, time.Since(start).Round(time.Millisecond))
 	dump()
+	if accessReg != nil {
+		writeAccess(accessReg.Lookup(*name))
+	}
 }

@@ -1,0 +1,116 @@
+// Live introspection endpoints: access-telemetry snapshots, the recent-
+// query log, and opt-in pprof. These are what a batcompact daemon (or an
+// operator) reads to find hot treelets and regions worth reorganizing.
+//
+//	GET /debug/access              per-dataset access snapshots (JSON)
+//	GET /debug/access?format=prometheus   the same as Prometheus series
+//	GET /debug/queries[?n=50]      recent queries across datasets, newest last
+//	GET /debug/pprof/...           (only with -pprof)
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+
+	"libbat/internal/obs/access"
+)
+
+// debugAccess serves every dataset's access snapshot.
+func (s *server) debugAccess(w http.ResponseWriter, r *http.Request) {
+	snaps := s.access.Snapshots()
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, snap := range snaps {
+			if err := snap.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"datasets": snaps})
+}
+
+// debugQueries serves the recent-query log, merged across datasets and
+// ordered oldest to newest. ?n= limits the reply to the newest n records.
+func (s *server) debugQueries(w http.ResponseWriter, r *http.Request) {
+	type taggedRecord struct {
+		Dataset string `json:"dataset"`
+		access.QueryRecord
+	}
+	var all []taggedRecord
+	for _, rec := range s.access.Recorders() {
+		for _, q := range rec.RecentQueries() {
+			all = append(all, taggedRecord{Dataset: rec.Name(), QueryRecord: q})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].UnixNano < all[j].UnixNano })
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			jsonError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+		if n < len(all) {
+			all = all[len(all)-n:]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"queries": all})
+}
+
+// registerPprof mounts the net/http/pprof handlers on mux (explicitly, so
+// profiling stays off the default mux and off by default).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// loadAccessSidecar merges a dataset's persisted access snapshot (written
+// by a previous batserve run) into its live recorder. A missing sidecar is
+// the normal first-run case; a corrupt or mismatched one is skipped with
+// its error returned for logging.
+func (s *server) loadAccessSidecar(name string, rec *access.Recorder) error {
+	f, err := s.store.Open(access.SidecarName(name))
+	if err != nil {
+		return nil // no sidecar yet
+	}
+	buf := make([]byte, f.Size())
+	_, rerr := f.ReadAt(buf, 0)
+	if err := errors.Join(rerr, f.Close()); err != nil {
+		return fmt.Errorf("reading access sidecar for %s: %w", name, err)
+	}
+	snap, err := access.Unmarshal(buf)
+	if err != nil {
+		return fmt.Errorf("parsing access sidecar for %s: %w", name, err)
+	}
+	if err := rec.MergeSnapshot(snap); err != nil {
+		return fmt.Errorf("merging access sidecar for %s: %w", name, err)
+	}
+	return nil
+}
+
+// persistAccess writes every recorder's snapshot to its dataset's sidecar
+// file, so the next batserve run (or a batcompact pass) resumes from the
+// accumulated access pattern.
+func (s *server) persistAccess() error {
+	var firstErr error
+	for _, snap := range s.access.Snapshots() {
+		buf, err := snap.Marshal()
+		if err == nil {
+			err = s.store.WriteFile(access.SidecarName(snap.Dataset), buf)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("persisting access sidecar for %s: %w", snap.Dataset, err)
+		}
+	}
+	return firstErr
+}

@@ -10,6 +10,10 @@
 //	GET /info                          dataset metadata (JSON)
 //	GET /points?quality=0.4&prev=0.2   binary stream of xyz float32 triples
 //	    [&box=x0,y0,z0,x1,y1,z1][&filter=attr,min,max][&attr=i]
+//	GET /metrics                       Prometheus metrics (+ Go runtime health)
+//	GET /debug/access                  per-dataset access telemetry snapshots
+//	GET /debug/queries                 recent structured query log
+//	GET /debug/pprof/                  profiling (only with -pprof)
 package main
 
 import (
@@ -52,6 +56,13 @@ type server struct {
 	qcfg libbat.QueryConfig // applied to every dataset at open
 	// cacheBytes bounds each dataset's treelet cache (0 = unbounded).
 	cacheBytes int64
+
+	// access holds one recorder per open dataset, served on /debug/access
+	// and /debug/queries. persist loads/saves .bata sidecars across runs;
+	// pprofOn mounts net/http/pprof under /debug/pprof/.
+	access  *libbat.AccessRegistry
+	persist bool
+	pprofOn bool
 }
 
 // jsonError replies with a JSON error body and the given status code.
@@ -98,10 +109,12 @@ func (s *server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// metrics exposes every counter and histogram in Prometheus text format.
+// metrics exposes every counter and histogram in Prometheus text format,
+// plus the Go runtime health series (goroutines, heap, GC).
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.col.WritePrometheus(w)
+	obs.WriteRuntimeMetrics(w)
 }
 
 // dataset lazily opens timestep i of the series. Opens are serialized on
@@ -125,6 +138,13 @@ func (s *server) dataset(i int) (*libbat.Dataset, error) {
 		ds.SetCacheLimit(s.cacheBytes)
 	}
 	ds.SetObserver(s.col, obs.L("step", strconv.Itoa(i)))
+	rec := s.access.Get(s.names[i], ds.Bounds())
+	if s.persist {
+		if err := s.loadAccessSidecar(s.names[i], rec); err != nil {
+			log.Printf("batserve: %v", err)
+		}
+	}
+	ds.SetAccessRecorder(rec)
 	s.open[i] = ds
 	return ds, nil
 }
@@ -156,6 +176,11 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/info", s.instrument("/info", s.info))
 	mux.HandleFunc("/points", s.instrument("/points", s.points))
 	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/debug/access", s.instrument("/debug/access", s.debugAccess))
+	mux.HandleFunc("/debug/queries", s.instrument("/debug/queries", s.debugQueries))
+	if s.pprofOn {
+		registerPprof(mux)
+	}
 	return mux
 }
 
@@ -201,6 +226,12 @@ func main() {
 			"allow out-of-order point delivery within a query (lower latency, nondeterministic stream order)")
 		cacheMB = flag.Int64("cache-mb", 0,
 			"treelet cache budget per dataset in MiB (0 = unbounded)")
+		accessPersist = flag.Bool("access-persist", false,
+			"load and save per-dataset access telemetry sidecars (<name>.bata) across runs")
+		accessRing = flag.Int("access-ring", 0,
+			"recent-query ring size per dataset (0 = default)")
+		pprofOn = flag.Bool("pprof", false,
+			"serve net/http/pprof profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -219,7 +250,9 @@ func main() {
 		qcfg.Workers = -1 // bat: negative means GOMAXPROCS
 	}
 	s := &server{store: store, names: names, open: map[int]*libbat.Dataset{},
-		col: obs.New(), qcfg: qcfg, cacheBytes: *cacheMB << 20}
+		col: obs.New(), qcfg: qcfg, cacheBytes: *cacheMB << 20,
+		access:  libbat.NewAccessRegistry(libbat.AccessOptions{RingSize: *accessRing}),
+		persist: *accessPersist, pprofOn: *pprofOn}
 	ds, err := s.dataset(0)
 	if err != nil {
 		log.Fatal(err)
@@ -247,6 +280,11 @@ func main() {
 		log.Printf("batserve: shutdown: %v", err)
 	}
 	s.closeDatasets()
+	if s.persist {
+		if err := s.persistAccess(); err != nil {
+			log.Printf("batserve: %v", err)
+		}
+	}
 	log.Printf("batserve: stopped")
 }
 
@@ -385,7 +423,7 @@ func (s *server) points(w http.ResponseWriter, r *http.Request) {
 	}
 	var points int64
 	qStart := time.Now()
-	err := ds.Query(q, func(p libbat.Vec3, attrs []float64) error {
+	err := ds.QueryTagged("batserve:/points", q, func(p libbat.Vec3, attrs []float64) error {
 		if points == 0 {
 			w.Header().Set("Content-Type", "application/octet-stream")
 		}

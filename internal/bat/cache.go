@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"libbat/internal/obs"
+	"libbat/internal/obs/access"
 )
 
 // cacheShards is the number of independently locked cache shards. A small
@@ -74,6 +75,11 @@ type treeletCache struct {
 	// Optional obs mirrors of the counters above; nil-safe no-ops when
 	// telemetry is off.
 	obsHits, obsMisses, obsEvictions *obs.Counter
+
+	// Optional access recorder: a miss that loads from storage is recorded
+	// per (leaf, treelet), so hit/load ratios expose cache thrash.
+	access     *access.Recorder
+	accessLeaf int
 }
 
 func newTreeletCache() *treeletCache {
@@ -90,6 +96,12 @@ func (c *treeletCache) setObserver(col *obs.Collector, labels ...obs.Label) {
 	c.obsHits = col.Counter("bat_treelet_cache_hits_total", labels...)
 	c.obsMisses = col.Counter("bat_treelet_cache_misses_total", labels...)
 	c.obsEvictions = col.Counter("bat_treelet_cache_evictions_total", labels...)
+}
+
+// setAccess attaches an access recorder, keying this cache's treelets
+// under leaf (nil detaches). Call before queries start, like setObserver.
+func (c *treeletCache) setAccess(rec *access.Recorder, leaf int) {
+	c.access, c.accessLeaf = rec, leaf
 }
 
 // shardOf maps a treelet index to its shard (Fibonacci hashing so runs of
@@ -127,6 +139,10 @@ func (c *treeletCache) get(ti int, load func() (*parsedTreelet, error)) (*parsed
 	c.misses.Add(1)
 	c.obsMisses.Inc()
 	t, err := load()
+
+	if err == nil {
+		c.access.TreeletLoad(c.accessLeaf, ti)
+	}
 
 	sh.mu.Lock()
 	e.t, e.err = t, err

@@ -159,6 +159,9 @@ func (f *File) collectBatch(s *queryState, li, idx int, cancel *cancelFlag) *que
 		b.err = err
 		return b
 	}
+	b.tc.treelets++
+	ref := &f.leaves[li]
+	f.access.Treelet(f.accessLeaf, li, int64(ref.byteLen), ref.bounds.Center())
 	b.nAttrs = len(t.attrs)
 	emit := func(p geom.Vec3, t *parsedTreelet, pi uint32) error {
 		b.pts = append(b.pts, p)

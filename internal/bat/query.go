@@ -128,12 +128,14 @@ type traversalCounters struct {
 	visited  int64
 	pruned   int64
 	falsePos int64
+	treelets int64
 }
 
 func (c *traversalCounters) add(o traversalCounters) {
 	c.visited += o.visited
 	c.pruned += o.pruned
 	c.falsePos += o.falsePos
+	c.treelets += o.treelets
 }
 
 // prepare validates the query against the file and computes the bitmap
@@ -199,6 +201,9 @@ type QueryStats struct {
 	Visited        int64
 	FalsePositives int64
 	PrunedSubtrees int64
+	// Treelets is the number of treelets actually loaded and traversed
+	// (candidates that survived shallow-tree pruning).
+	Treelets int64
 }
 
 // Query traverses the file, invoking visit for every particle matching the
@@ -226,6 +231,9 @@ func (f *File) QueryWithConfig(q Query, cfg QueryConfig, visit Visitor) (QuerySt
 	if !ok || len(f.leaves) == 0 {
 		return QueryStats{}, nil
 	}
+	for _, flt := range q.Filters {
+		f.access.TouchAttr(f.Schema.Attrs[flt.Attr].Name, 1)
+	}
 	var tc traversalCounters
 	cands, err := f.selectTreelets(s, &tc)
 	if err == nil && len(cands) > 0 {
@@ -243,6 +251,7 @@ func (f *File) QueryWithConfig(q Query, cfg QueryConfig, visit Visitor) (QuerySt
 		Visited:        tc.visited,
 		FalsePositives: tc.falsePos,
 		PrunedSubtrees: tc.pruned,
+		Treelets:       tc.treelets,
 	}, err
 }
 
@@ -404,6 +413,9 @@ func (f *File) runSerial(s *queryState, cands []int, cfg QueryConfig, tc *traver
 		if err != nil {
 			return err
 		}
+		tc.treelets++
+		ref := &f.leaves[li]
+		f.access.Treelet(f.accessLeaf, li, int64(ref.byteLen), ref.bounds.Center())
 		if err := s.traverseTreelet(f, t, tc, emit, nil); err != nil {
 			return err
 		}

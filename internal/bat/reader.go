@@ -19,6 +19,7 @@ import (
 	"libbat/internal/geom"
 	"libbat/internal/mmapio"
 	"libbat/internal/obs"
+	"libbat/internal/obs/access"
 	"libbat/internal/particles"
 )
 
@@ -98,6 +99,12 @@ type File struct {
 	// qcfgMu guards it so SetQueryConfig is safe alongside queries.
 	qcfgMu sync.Mutex
 	qcfg   QueryConfig
+
+	// access is the optional access-telemetry recorder (nil = disabled:
+	// every call on it no-ops); accessLeaf is the leaf-file index this File
+	// represents inside a multi-leaf dataset, used to key per-treelet stats.
+	access     *access.Recorder
+	accessLeaf int
 
 	// prefetches tracks readahead goroutines so Close can wait them out
 	// instead of unmapping a buffer a prefetch is still parsing.
@@ -630,6 +637,15 @@ func (f *File) SetObserver(col *obs.Collector, labels ...obs.Label) {
 
 // CacheStats snapshots the treelet cache counters.
 func (f *File) CacheStats() CacheStats { return f.cache.stats() }
+
+// SetAccessRecorder attaches an access-telemetry recorder; queries then
+// record which treelets they touch (and the cache records which loads hit
+// storage) under leaf — this File's index within its dataset. Like
+// SetObserver, call before queries start; nil detaches.
+func (f *File) SetAccessRecorder(rec *access.Recorder, leaf int) {
+	f.access, f.accessLeaf = rec, leaf
+	f.cache.setAccess(rec, leaf)
+}
 
 // SetQueryConfig sets the default execution policy used by Query,
 // QueryWithStats, and the helpers built on them (ReadAll, CollectBox,

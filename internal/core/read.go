@@ -14,6 +14,7 @@ import (
 	"libbat/internal/geom"
 	"libbat/internal/meta"
 	"libbat/internal/obs"
+	"libbat/internal/obs/access"
 	"libbat/internal/particles"
 	"libbat/internal/pfs"
 )
@@ -90,6 +91,10 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 		return nil, nil, aerr
 	}
 	stats.Metadata = time.Since(metaStart)
+	// Access telemetry (nil registry → nil recorder → no-ops throughout):
+	// the aggregator side records which treelets and regions each served
+	// leaf query touches, keyed by dataset base name.
+	rec := c.AccessRegistry().Get(base, m.Domain)
 	nLeaves := len(m.Leaves)
 	if nLeaves == 0 {
 		c.Barrier()
@@ -174,7 +179,7 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 		go func() {
 			defer workers.Done()
 			for j := range jobs {
-				results <- serveLeafJob(col, c.Rank(), store, m, lf, j)
+				results <- serveLeafJob(col, c.Rank(), store, m, lf, rec, j)
 			}
 		}()
 	}
@@ -398,11 +403,11 @@ type serveResult struct {
 
 // serveLeafJob runs on a pool worker: open/traverse the leaf and package
 // the outcome. It never touches the communicator.
-func serveLeafJob(col *obs.Collector, rank int, store pfs.Storage, m *meta.Meta, lf *leafFiles, j serveJob) serveResult {
+func serveLeafJob(col *obs.Collector, rank int, store pfs.Storage, m *meta.Meta, lf *leafFiles, rec *access.Recorder, j serveJob) serveResult {
 	sp := col.Start(rank, "read.serve")
 	defer sp.End()
 	start := time.Now()
-	sub, opened, err := queryLeaf(store, m, lf, j.leaf, j.q)
+	sub, opened, err := queryLeaf(store, m, lf, rec, rank, j.leaf, j.q)
 	res := serveResult{source: j.source, leaf: j.leaf, opened: opened, fileRead: time.Since(start)}
 	if j.source < 0 {
 		res.sub, res.err = sub, err
@@ -477,8 +482,9 @@ func (lf *leafFiles) closeAll() {
 }
 
 // queryLeaf answers one query against a leaf file, opening (and caching)
-// it in lf on first use.
-func queryLeaf(store pfs.Storage, m *meta.Meta, lf *leafFiles, li int, q bat.Query) (*particles.Set, bool, error) {
+// it in lf on first use. With a recorder attached, the serve is logged in
+// the recent-query ring and treelet touches are recorded under li.
+func queryLeaf(store pfs.Storage, m *meta.Meta, lf *leafFiles, rec *access.Recorder, rank, li int, q bat.Query) (*particles.Set, bool, error) {
 	f, opened, err := lf.get(li, func() (*bat.File, error) {
 		handle, err := store.Open(m.Leaves[li].FileName)
 		if err != nil {
@@ -492,15 +498,48 @@ func queryLeaf(store pfs.Storage, m *meta.Meta, lf *leafFiles, li int, q bat.Que
 			return nil, fmt.Errorf("core: parsing leaf %d: %w", li, err)
 		}
 		bf.SetCloser(handle)
+		bf.SetAccessRecorder(rec, li)
 		return bf, nil
 	})
 	if err != nil {
 		return nil, opened, err
 	}
+	start := time.Now()
 	sub := particles.NewSet(f.Schema, 0)
-	qerr := f.Query(q, func(p geom.Vec3, attrs []float64) error {
+	st, qerr := f.QueryWithStats(q, func(p geom.Vec3, attrs []float64) error {
 		sub.Append(p, attrs)
 		return nil
 	})
+	if rec != nil {
+		rec.Record(access.QueryRecord{
+			Source:         "core.read",
+			Rank:           rank,
+			Box:            access.BoxRecord(q.Bounds),
+			Filters:        accessFilters(m.Schema, q.Filters),
+			PrevQuality:    q.PrevQuality,
+			Quality:        q.Quality,
+			Treelets:       st.Treelets,
+			Particles:      st.Visited,
+			Pruned:         st.PrunedSubtrees,
+			FalsePositives: st.FalsePositives,
+			Seconds:        time.Since(start).Seconds(),
+		})
+	}
 	return sub, opened, qerr
+}
+
+// accessFilters names a query's attribute filters for the access log.
+func accessFilters(schema particles.Schema, fs []bat.AttrFilter) []access.FilterRange {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]access.FilterRange, len(fs))
+	for i, f := range fs {
+		name := fmt.Sprintf("attr%d", f.Attr)
+		if f.Attr >= 0 && f.Attr < schema.NumAttrs() {
+			name = schema.Attrs[f.Attr].Name
+		}
+		out[i] = access.FilterRange{Attr: name, Min: f.Min, Max: f.Max}
+	}
+	return out
 }

@@ -1,0 +1,371 @@
+// Package access is the read-path access-telemetry layer: it observes
+// *which* data queries touch, not just how long they take. A per-dataset
+// Recorder captures per-treelet hit/byte/load counts, a coarse spatial
+// heatmap binned on a fixed-depth Morton grid of the dataset bounds,
+// per-attribute touch counts, and a bounded ring of recent structured query
+// records. Snapshots are exportable as JSON or Prometheus series and
+// persistable to a versioned, CRC32C-checksummed sidecar file, so a future
+// batcompact daemon can merge observed access patterns across batserve
+// restarts and replicas and rewrite hot datasets with read-optimized
+// parameters (the query-driven reorganization of Wan et al.,
+// arXiv:2107.07108).
+//
+// Like internal/obs, the package is nil-safe when disabled: every method on
+// a nil *Recorder (or nil *Registry) is a no-op, so instrumented hot paths
+// pay only a nil check. All methods are safe for concurrent use.
+package access
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"libbat/internal/geom"
+	"libbat/internal/morton"
+)
+
+// Default telemetry shape. GridBits is bits per axis of the heatmap grid:
+// 4 bits gives a 16x16x16 grid (4096 cells, 32 KiB of counters), coarse
+// enough to be cheap and fine enough to localize a hot region.
+const (
+	DefGridBits = 4
+	DefRingSize = 256
+	maxGridBits = 6 // 64^3 cells = 2 MiB of counters; beyond that is not "coarse"
+)
+
+// accessShards spreads the treelet-count map over independently locked
+// shards so parallel traversal workers do not contend on one mutex.
+const accessShards = 16
+
+// Options shapes a Recorder. The zero value selects the defaults.
+type Options struct {
+	// GridBits is the heatmap resolution in bits per axis (grid is
+	// 2^GridBits cells per axis). 0 selects DefGridBits; values are
+	// clamped to [1, 6].
+	GridBits int
+	// RingSize bounds the recent-query ring. 0 selects DefRingSize.
+	RingSize int
+}
+
+func (o Options) gridBits() int {
+	b := o.GridBits
+	if b == 0 {
+		b = DefGridBits
+	}
+	if b < 1 {
+		b = 1
+	}
+	if b > maxGridBits {
+		b = maxGridBits
+	}
+	return b
+}
+
+func (o Options) ringSize() int {
+	if o.RingSize <= 0 {
+		return DefRingSize
+	}
+	return o.RingSize
+}
+
+// FilterRange is one attribute filter of a recorded query, by attribute
+// name so records stay meaningful across schema reorderings.
+type FilterRange struct {
+	Attr string  `json:"attr"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// QueryRecord is one structured entry of the recent-query ring: what the
+// query asked for and what answering it cost.
+type QueryRecord struct {
+	UnixNano int64  `json:"unix_nano"`
+	Source   string `json:"source,omitempty"` // e.g. "dataset", "batserve:/points", "core.read"
+	Rank     int    `json:"rank,omitempty"`   // collective reads: the serving rank
+
+	// Box is the query bounds as [x0,y0,z0,x1,y1,z1]; nil for full-domain.
+	Box         *[6]float64   `json:"box,omitempty"`
+	Filters     []FilterRange `json:"filters,omitempty"`
+	PrevQuality float64       `json:"prev_quality,omitempty"`
+	Quality     float64       `json:"quality,omitempty"`
+	Workers     int           `json:"workers,omitempty"`
+
+	Treelets       int64   `json:"treelets"`
+	Particles      int64   `json:"particles"`
+	Pruned         int64   `json:"pruned,omitempty"`
+	FalsePositives int64   `json:"false_positives,omitempty"`
+	Seconds        float64 `json:"seconds"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+}
+
+// BoxRecord flattens a geom.Box into the QueryRecord wire form.
+func BoxRecord(b *geom.Box) *[6]float64 {
+	if b == nil {
+		return nil
+	}
+	return &[6]float64{b.Lower.X, b.Lower.Y, b.Lower.Z, b.Upper.X, b.Upper.Y, b.Upper.Z}
+}
+
+// treeletCounts accumulates one treelet's access counters. The fields are
+// atomic so only the shard map lookup needs the shard lock.
+type treeletCounts struct {
+	hits  atomic.Int64 // query traversals that touched the treelet
+	bytes atomic.Int64 // on-disk bytes those traversals covered
+	loads atomic.Int64 // cache misses: times the treelet was parsed from storage
+}
+
+type treeletShard struct {
+	mu sync.Mutex
+	m  map[uint64]*treeletCounts
+}
+
+// Recorder captures the observed access pattern of one dataset. Create
+// with New; a nil *Recorder is the disabled state and every method no-ops.
+type Recorder struct {
+	name     string
+	bounds   geom.Box
+	gridBits int
+	ringCap  int
+
+	cells []atomic.Int64 // heatmap, 1 << (3*gridBits) Morton-ordered cells
+
+	queries      atomic.Int64
+	treeletHits  atomic.Int64
+	treeletBytes atomic.Int64
+	treeletLoads atomic.Int64
+
+	shards [accessShards]treeletShard
+
+	attrMu sync.Mutex
+	attrs  map[string]*atomic.Int64
+
+	ringMu   sync.Mutex
+	ring     []QueryRecord // capacity ringCap, oldest overwritten first
+	ringPos  int           // next write position
+	ringFull bool
+}
+
+// New creates an enabled Recorder for the named dataset. bounds is the
+// dataset's spatial domain — the reference frame of the heatmap grid.
+func New(name string, bounds geom.Box, opts Options) *Recorder {
+	// A degenerate domain (zero extent on an axis) would make Morton
+	// quantization divide by zero; inflate such axes so every point lands
+	// in cell 0 along them instead.
+	sz := bounds.Size()
+	if sz.X <= 0 {
+		bounds.Upper.X = bounds.Lower.X + 1
+	}
+	if sz.Y <= 0 {
+		bounds.Upper.Y = bounds.Lower.Y + 1
+	}
+	if sz.Z <= 0 {
+		bounds.Upper.Z = bounds.Lower.Z + 1
+	}
+	r := &Recorder{
+		name:     name,
+		bounds:   bounds,
+		gridBits: opts.gridBits(),
+		ringCap:  opts.ringSize(),
+		attrs:    map[string]*atomic.Int64{},
+	}
+	r.cells = make([]atomic.Int64, 1<<(3*r.gridBits))
+	r.ring = make([]QueryRecord, r.ringCap)
+	for i := range r.shards {
+		r.shards[i].m = map[uint64]*treeletCounts{}
+	}
+	return r
+}
+
+// Name returns the dataset name the recorder observes ("" on nil).
+func (r *Recorder) Name() string {
+	if r == nil {
+		return ""
+	}
+	return r.name
+}
+
+// Bounds returns the heatmap's spatial reference frame.
+func (r *Recorder) Bounds() geom.Box {
+	if r == nil {
+		return geom.Box{}
+	}
+	return r.bounds
+}
+
+// treeletKey packs a (leaf file, treelet) pair into one map key.
+func treeletKey(leaf, treelet int) uint64 {
+	return uint64(uint32(leaf))<<32 | uint64(uint32(treelet))
+}
+
+func (r *Recorder) counts(leaf, treelet int) *treeletCounts {
+	key := treeletKey(leaf, treelet)
+	// Fibonacci hash of the key picks the shard (same spreading trick as
+	// the treelet cache).
+	sh := &r.shards[(uint32(key)^uint32(key>>32))*2654435761>>28]
+	sh.mu.Lock()
+	c, ok := sh.m[key]
+	if !ok {
+		c = &treeletCounts{}
+		sh.m[key] = c
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// cellOf maps a point to its heatmap cell: the top 3*gridBits bits of the
+// point's Morton code relative to the dataset bounds, so cell indices are
+// Morton prefixes and morton.CellBounds recovers each cell's box.
+func (r *Recorder) cellOf(p geom.Vec3) uint32 {
+	return uint32(morton.FromPoint(p, r.bounds).Subprefix(3 * r.gridBits))
+}
+
+// Treelet records one query traversal touching a treelet: hit and byte
+// counts for the (leaf, treelet) pair, and a heatmap increment at center
+// (the treelet's spatial bounds center).
+func (r *Recorder) Treelet(leaf, treelet int, bytes int64, center geom.Vec3) {
+	if r == nil {
+		return
+	}
+	c := r.counts(leaf, treelet)
+	c.hits.Add(1)
+	c.bytes.Add(bytes)
+	r.treeletHits.Add(1)
+	r.treeletBytes.Add(bytes)
+	r.cells[r.cellOf(center)].Add(1)
+}
+
+// TreeletLoad records a treelet cache miss: the treelet was parsed from
+// storage (rather than served from memory). The hits-to-loads ratio per
+// treelet is the cache-thrash signal a reorganizer watches.
+func (r *Recorder) TreeletLoad(leaf, treelet int) {
+	if r == nil {
+		return
+	}
+	r.counts(leaf, treelet).loads.Add(1)
+	r.treeletLoads.Add(1)
+}
+
+// TouchAttr records n accesses of the named attribute (filter evaluation
+// or attribute streaming).
+func (r *Recorder) TouchAttr(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.attrMu.Lock()
+	c, ok := r.attrs[name]
+	if !ok {
+		c = &atomic.Int64{}
+		r.attrs[name] = c
+	}
+	r.attrMu.Unlock()
+	c.Add(n)
+}
+
+// Record appends one query record to the ring (overwriting the oldest when
+// full) and counts it. A zero UnixNano is stamped with the current time.
+func (r *Recorder) Record(q QueryRecord) {
+	if r == nil {
+		return
+	}
+	if q.UnixNano == 0 {
+		q.UnixNano = time.Now().UnixNano()
+	}
+	r.queries.Add(1)
+	r.ringMu.Lock()
+	r.ring[r.ringPos] = q
+	r.ringPos++
+	if r.ringPos == r.ringCap {
+		r.ringPos, r.ringFull = 0, true
+	}
+	r.ringMu.Unlock()
+}
+
+// RecentQueries returns the ring's records, oldest first.
+func (r *Recorder) RecentQueries() []QueryRecord {
+	if r == nil {
+		return nil
+	}
+	r.ringMu.Lock()
+	defer r.ringMu.Unlock()
+	if !r.ringFull {
+		return append([]QueryRecord(nil), r.ring[:r.ringPos]...)
+	}
+	out := make([]QueryRecord, 0, r.ringCap)
+	out = append(out, r.ring[r.ringPos:]...)
+	out = append(out, r.ring[:r.ringPos]...)
+	return out
+}
+
+// Registry holds one Recorder per dataset, for processes (batserve, the
+// collective read path) that serve many datasets. Nil-safe: a nil
+// *Registry returns nil Recorders, keeping telemetry fully disabled.
+type Registry struct {
+	opts Options
+	mu   sync.Mutex
+	m    map[string]*Recorder
+}
+
+// NewRegistry creates a registry whose Recorders share opts.
+func NewRegistry(opts Options) *Registry {
+	return &Registry{opts: opts, m: map[string]*Recorder{}}
+}
+
+// Get returns the recorder for the named dataset, creating it (with the
+// given domain bounds) on first use. Returns nil on a nil registry.
+func (g *Registry) Get(name string, bounds geom.Box) *Recorder {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.m[name]; ok {
+		return r
+	}
+	r := New(name, bounds, g.opts)
+	g.m[name] = r
+	return r
+}
+
+// Lookup returns the recorder for the named dataset, or nil if none was
+// created yet.
+func (g *Registry) Lookup(name string) *Recorder {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.m[name]
+}
+
+// Recorders returns every recorder, sorted by dataset name.
+func (g *Registry) Recorders() []*Recorder {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	names := make([]string, 0, len(g.m))
+	for n := range g.m {
+		names = append(names, n)
+	}
+	g.mu.Unlock()
+	sort.Strings(names)
+	out := make([]*Recorder, len(names))
+	for i, n := range names {
+		out[i] = g.Lookup(n)
+	}
+	return out
+}
+
+// Snapshots captures every recorder's state, sorted by dataset name.
+func (g *Registry) Snapshots() []Snapshot {
+	if g == nil {
+		return nil
+	}
+	recs := g.Recorders()
+	out := make([]Snapshot, len(recs))
+	for i, r := range recs {
+		out[i] = r.Snapshot()
+	}
+	return out
+}

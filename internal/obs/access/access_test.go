@@ -1,0 +1,215 @@
+package access
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"libbat/internal/geom"
+)
+
+func unitBox() geom.Box { return geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1)) }
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Treelet(0, 1, 100, geom.V3(0.5, 0.5, 0.5))
+	r.TreeletLoad(0, 1)
+	r.TouchAttr("mass", 1)
+	r.Record(QueryRecord{})
+	if got := r.RecentQueries(); got != nil {
+		t.Errorf("nil recorder RecentQueries = %v", got)
+	}
+	s := r.Snapshot()
+	if s.Queries != 0 || len(s.Treelets) != 0 {
+		t.Errorf("nil recorder snapshot = %+v", s)
+	}
+	if err := r.MergeSnapshot(Snapshot{GridBits: 9}); err != nil {
+		t.Errorf("nil recorder MergeSnapshot = %v", err)
+	}
+	if r.Name() != "" {
+		t.Errorf("nil recorder Name = %q", r.Name())
+	}
+
+	var g *Registry
+	if g.Get("x", unitBox()) != nil || g.Lookup("x") != nil {
+		t.Error("nil registry returned a recorder")
+	}
+	if g.Recorders() != nil || g.Snapshots() != nil {
+		t.Error("nil registry returned recorders")
+	}
+}
+
+func TestRecorderCounts(t *testing.T) {
+	r := New("ds", unitBox(), Options{})
+	r.Treelet(0, 3, 100, geom.V3(0.1, 0.1, 0.1))
+	r.Treelet(0, 3, 100, geom.V3(0.1, 0.1, 0.1))
+	r.Treelet(1, 0, 50, geom.V3(0.9, 0.9, 0.9))
+	r.TreeletLoad(0, 3)
+	r.TouchAttr("mass", 2)
+	r.Record(QueryRecord{Particles: 10, Treelets: 2, Seconds: 0.5})
+
+	s := r.Snapshot()
+	if s.Dataset != "ds" || s.GridBits != DefGridBits {
+		t.Fatalf("snapshot header = %+v", s)
+	}
+	if s.Queries != 1 || s.TreeletHits != 3 || s.TreeletBytes != 250 || s.TreeletLoads != 1 {
+		t.Fatalf("totals = %d/%d/%d/%d", s.Queries, s.TreeletHits, s.TreeletBytes, s.TreeletLoads)
+	}
+	want := []TreeletStat{
+		{Leaf: 0, Treelet: 3, Hits: 2, Bytes: 200, Loads: 1},
+		{Leaf: 1, Treelet: 0, Hits: 1, Bytes: 50},
+	}
+	if len(s.Treelets) != len(want) {
+		t.Fatalf("treelets = %+v", s.Treelets)
+	}
+	for i, w := range want {
+		if s.Treelets[i] != w {
+			t.Errorf("treelet[%d] = %+v, want %+v", i, s.Treelets[i], w)
+		}
+	}
+	if len(s.Heatmap) != 2 {
+		t.Fatalf("heatmap = %+v", s.Heatmap)
+	}
+	// The two touched corners must land in different cells, and each
+	// cell's recovered box must contain the touch point.
+	lowCell, hiCell := s.Heatmap[0], s.Heatmap[1]
+	if !s.CellBox(lowCell.Cell).Contains(geom.V3(0.1, 0.1, 0.1)) {
+		t.Errorf("cell %d box %v does not contain the low corner", lowCell.Cell, s.CellBox(lowCell.Cell))
+	}
+	if !s.CellBox(hiCell.Cell).Contains(geom.V3(0.9, 0.9, 0.9)) {
+		t.Errorf("cell %d box %v does not contain the high corner", hiCell.Cell, s.CellBox(hiCell.Cell))
+	}
+	if hot := s.HotCells(1); len(hot) != 1 || hot[0].Count != 2 {
+		t.Errorf("HotCells = %+v", hot)
+	}
+	if hot := s.HotTreelets(1); len(hot) != 1 || (hot[0].Leaf != 0 || hot[0].Treelet != 3) {
+		t.Errorf("HotTreelets = %+v", hot)
+	}
+	if len(s.Attrs) != 1 || s.Attrs[0] != (AttrStat{Name: "mass", Count: 2}) {
+		t.Errorf("attrs = %+v", s.Attrs)
+	}
+	if len(s.Recent) != 1 || s.Recent[0].Particles != 10 || s.Recent[0].UnixNano == 0 {
+		t.Errorf("recent = %+v", s.Recent)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := New("ds", unitBox(), Options{RingSize: 3})
+	for i := 1; i <= 5; i++ {
+		r.Record(QueryRecord{UnixNano: int64(i), Particles: int64(i)})
+	}
+	got := r.RecentQueries()
+	if len(got) != 3 {
+		t.Fatalf("ring length %d", len(got))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if got[i].Particles != want {
+			t.Errorf("ring[%d] = %+v, want particles %d", i, got[i], want)
+		}
+	}
+	if s := r.Snapshot(); s.Queries != 5 {
+		t.Errorf("queries_total = %d, want 5", s.Queries)
+	}
+}
+
+func TestGridBitsClamped(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, DefGridBits}, {-3, 1}, {2, 2}, {99, maxGridBits}} {
+		r := New("ds", unitBox(), Options{GridBits: tc.in})
+		if r.gridBits != tc.want {
+			t.Errorf("GridBits %d -> %d, want %d", tc.in, r.gridBits, tc.want)
+		}
+		if len(r.cells) != 1<<(3*tc.want) {
+			t.Errorf("GridBits %d -> %d cells", tc.in, len(r.cells))
+		}
+	}
+}
+
+func TestDegenerateBounds(t *testing.T) {
+	// A flat (2D) domain must not produce NaN cells.
+	flat := geom.NewBox(geom.V3(0, 0, 5), geom.V3(1, 1, 5))
+	r := New("flat", flat, Options{})
+	r.Treelet(0, 0, 1, geom.V3(0.5, 0.5, 5))
+	s := r.Snapshot()
+	if len(s.Heatmap) != 1 {
+		t.Fatalf("heatmap = %+v", s.Heatmap)
+	}
+	if int(s.Heatmap[0].Cell) >= len(r.cells) {
+		t.Fatalf("cell %d out of range", s.Heatmap[0].Cell)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	g := NewRegistry(Options{GridBits: 3})
+	a := g.Get("b-ds", unitBox())
+	if a == nil || g.Get("b-ds", unitBox()) != a {
+		t.Fatal("Get is not idempotent")
+	}
+	g.Get("a-ds", unitBox())
+	recs := g.Recorders()
+	if len(recs) != 2 || recs[0].Name() != "a-ds" || recs[1].Name() != "b-ds" {
+		t.Fatalf("recorders = %v", recs)
+	}
+	if g.Lookup("missing") != nil {
+		t.Error("Lookup invented a recorder")
+	}
+	snaps := g.Snapshots()
+	if len(snaps) != 2 || snaps[0].Dataset != "a-ds" || snaps[0].GridBits != 3 {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+}
+
+// TestConcurrentRecorder hammers one recorder from many goroutines; run
+// under -race it is the recorder's thread-safety proof, and the final
+// totals check that no increment was lost.
+func TestConcurrentRecorder(t *testing.T) {
+	r := New("ds", unitBox(), Options{RingSize: 8})
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ti := (w*perWorker + i) % 37
+				r.Treelet(w%3, ti, 10, geom.V3(float64(ti)/37, 0.5, 0.5))
+				if i%5 == 0 {
+					r.TreeletLoad(w%3, ti)
+				}
+				r.TouchAttr(fmt.Sprintf("attr%d", w%2), 1)
+				r.Record(QueryRecord{UnixNano: int64(w*perWorker + i + 1), Treelets: 1})
+				r.Snapshot() // concurrent readers must be safe too
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	const total = workers * perWorker
+	if s.TreeletHits != total || s.TreeletBytes != total*10 || s.Queries != total {
+		t.Fatalf("totals = hits %d bytes %d queries %d, want %d/%d/%d",
+			s.TreeletHits, s.TreeletBytes, s.Queries, total, total*10, total)
+	}
+	var attrs int64
+	for _, a := range s.Attrs {
+		attrs += a.Count
+	}
+	if attrs != total {
+		t.Fatalf("attr touches = %d, want %d", attrs, total)
+	}
+	var perTreelet int64
+	for _, ts := range s.Treelets {
+		perTreelet += ts.Hits
+	}
+	if perTreelet != total {
+		t.Fatalf("per-treelet hits = %d, want %d", perTreelet, total)
+	}
+	var heat int64
+	for _, h := range s.Heatmap {
+		heat += h.Count
+	}
+	if heat != total {
+		t.Fatalf("heatmap mass = %d, want %d", heat, total)
+	}
+	if len(s.Recent) != 8 {
+		t.Fatalf("ring = %d entries, want 8", len(s.Recent))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -29,6 +30,50 @@ type HistogramSnapshot struct {
 	Sum     float64           `json:"sum"`
 	Min     float64           `json:"min"`
 	Max     float64           `json:"max"`
+	P50     float64           `json:"p50"`
+	P90     float64           `json:"p90"`
+	P99     float64           `json:"p99"`
+}
+
+// Quantile estimates the q-th quantile (0..1) by locating the bucket holding
+// the target rank and interpolating linearly inside it. The first bucket's
+// lower edge is the observed Min and the overflow bucket's upper edge is the
+// observed Max, so estimates never leave the observed range. With no
+// observations it returns 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	target := q * float64(h.Count)
+	cum := 0.0
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(n)
+		if cum < target {
+			continue
+		}
+		lo, hi := h.Min, h.Max
+		if i > 0 {
+			lo = math.Max(lo, h.Bounds[i-1])
+		}
+		if i < len(h.Bounds) {
+			hi = math.Min(hi, h.Bounds[i])
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return lo + (hi-lo)*(target-prev)/float64(n)
+	}
+	return h.Max
 }
 
 // SpanSummary aggregates the completed spans of one (name, rank) pair.
@@ -77,7 +122,7 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	for _, h := range c.hists {
 		h.mu.Lock()
-		s.Histograms = append(s.Histograms, HistogramSnapshot{
+		hs := HistogramSnapshot{
 			Name:    h.name,
 			Labels:  labelMap(h.labels),
 			Bounds:  append([]float64(nil), h.bounds...),
@@ -86,8 +131,10 @@ func (c *Collector) Snapshot() Snapshot {
 			Sum:     h.sum,
 			Min:     h.min,
 			Max:     h.max,
-		})
+		}
 		h.mu.Unlock()
+		hs.P50, hs.P90, hs.P99 = hs.Quantile(0.50), hs.Quantile(0.90), hs.Quantile(0.99)
+		s.Histograms = append(s.Histograms, hs)
 	}
 	c.mu.Unlock()
 
@@ -217,6 +264,13 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&sb, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", "+Inf"), cum)
 		fmt.Fprintf(&sb, "%s_sum%s %s\n", h.Name, promLabels(h.Labels, "", ""), promNum(h.Sum))
 		fmt.Fprintf(&sb, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", ""), h.Count)
+		for _, p := range []struct {
+			suffix string
+			v      float64
+		}{{"_p50", h.P50}, {"_p90", h.P90}, {"_p99", h.P99}} {
+			emitHeader(h.Name+p.suffix, "gauge")
+			fmt.Fprintf(&sb, "%s%s%s %s\n", h.Name, p.suffix, promLabels(h.Labels, "", ""), promNum(p.v))
+		}
 	}
 	for _, sp := range s.Spans {
 		name := "span_" + sanitizeMetricName(sp.Name)
@@ -227,6 +281,26 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		emitHeader(name+"_count", "counter")
 		fmt.Fprintf(&sb, "%s_count%s %d\n", name, promLabels(labels, "", ""), sp.Count)
 	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteRuntimeMetrics writes Go runtime health series — goroutine count,
+// heap usage, and GC activity — in the Prometheus text format. batserve
+// appends these to /metrics so an operator can correlate query latency with
+// collector pressure.
+func WriteRuntimeMetrics(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# TYPE go_goroutines gauge\ngo_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(&sb, "# TYPE go_heap_alloc_bytes gauge\ngo_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(&sb, "# TYPE go_heap_sys_bytes gauge\ngo_heap_sys_bytes %d\n", ms.HeapSys)
+	fmt.Fprintf(&sb, "# TYPE go_heap_objects gauge\ngo_heap_objects %d\n", ms.HeapObjects)
+	fmt.Fprintf(&sb, "# TYPE go_gc_pause_seconds_total counter\ngo_gc_pause_seconds_total %s\n",
+		promNum(float64(ms.PauseTotalNs)/1e9))
+	fmt.Fprintf(&sb, "# TYPE go_gc_runs_total counter\ngo_gc_runs_total %d\n", ms.NumGC)
+	fmt.Fprintf(&sb, "# TYPE go_gomaxprocs gauge\ngo_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
 	_, err := io.WriteString(w, sb.String())
 	return err
 }

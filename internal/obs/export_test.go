@@ -3,7 +3,10 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -138,6 +141,87 @@ func TestJSONSnapshotRoundTrip(t *testing.T) {
 	}
 	if snap.Spans[0].Name != "whole" || snap.Spans[0].Count != 1 {
 		t.Errorf("span summary = %+v", snap.Spans[0])
+	}
+}
+
+// TestHistogramQuantiles pins the bucket-interpolation estimator against
+// hand-computed values on a small, fully-known histogram.
+func TestHistogramQuantiles(t *testing.T) {
+	// Observations 0.0005, 0.05, 3 over bounds [0.001, 0.01, 0.1]:
+	// buckets [1, 0, 1] + overflow 1.
+	s := goldenCollector().Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(s.Histograms))
+	}
+	h := s.Histograms[0]
+	for _, tc := range []struct {
+		q, want float64
+	}{
+		{0, 0.0005}, // clamped to Min
+		{1, 3},      // clamped to Max
+		// target rank 1.5 falls in bucket (0.01, 0.1], halfway in.
+		{0.50, 0.055},
+		// target rank 2.7 falls in the overflow bucket (0.1, Max].
+		{0.90, 0.1 + 2.9*0.7},
+		{0.99, 0.1 + 2.9*0.97},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	// Snapshot precomputes the standard three.
+	if h.P50 != h.Quantile(0.50) || h.P90 != h.Quantile(0.90) || h.P99 != h.Quantile(0.99) {
+		t.Errorf("snapshot quantiles (%g, %g, %g) disagree with Quantile", h.P50, h.P90, h.P99)
+	}
+	if empty := (HistogramSnapshot{}); empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	// The quantile gauges appear in the Prometheus exposition.
+	var buf bytes.Buffer
+	if err := goldenCollector().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE latency_seconds_p50 gauge\nlatency_seconds_p50 " + promNum(h.P50) + "\n",
+		"latency_seconds_p90 " + promNum(h.P90) + "\n",
+		"latency_seconds_p99 " + promNum(h.P99) + "\n",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestWriteRuntimeMetrics sanity-checks the Go health series: present,
+// typed, and plausibly valued.
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRuntimeMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"go_goroutines", "go_heap_alloc_bytes", "go_heap_sys_bytes",
+		"go_heap_objects", "go_gc_pause_seconds_total", "go_gc_runs_total",
+		"go_gomaxprocs",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("missing TYPE header for %s", name)
+		}
+		if !strings.Contains(out, "\n"+name+" ") && !strings.HasPrefix(out, name+" ") {
+			t.Errorf("missing sample for %s", name)
+		}
+	}
+	var goroutines, maxprocs int
+	for _, line := range strings.Split(out, "\n") {
+		fmt.Sscanf(line, "go_goroutines %d", &goroutines)
+		fmt.Sscanf(line, "go_gomaxprocs %d", &maxprocs)
+	}
+	if goroutines < 1 {
+		t.Errorf("go_goroutines = %d", goroutines)
+	}
+	if maxprocs != runtime.GOMAXPROCS(0) {
+		t.Errorf("go_gomaxprocs = %d, want %d", maxprocs, runtime.GOMAXPROCS(0))
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"libbat/internal/bat"
 	"libbat/internal/core"
@@ -32,6 +33,7 @@ import (
 	"libbat/internal/geom"
 	"libbat/internal/meta"
 	"libbat/internal/obs"
+	"libbat/internal/obs/access"
 	"libbat/internal/particles"
 	"libbat/internal/pfs"
 )
@@ -83,7 +85,30 @@ type (
 	LayoutResult = core.LayoutResult
 	// RawLayout writes flat particle arrays (template for custom layouts).
 	RawLayout = core.RawLayout
+	// AccessRecorder captures which treelets, spatial regions, and
+	// attributes queries touch (nil = telemetry disabled).
+	AccessRecorder = access.Recorder
+	// AccessRegistry holds one AccessRecorder per dataset.
+	AccessRegistry = access.Registry
+	// AccessOptions shapes recorders: heatmap resolution, query-ring size.
+	AccessOptions = access.Options
+	// AccessSnapshot is a point-in-time export of an AccessRecorder,
+	// persistable to a checksummed sidecar and mergeable across replicas.
+	AccessSnapshot = access.Snapshot
+	// AccessQueryRecord is one entry of the recent-query ring.
+	AccessQueryRecord = access.QueryRecord
 )
+
+// NewAccessRecorder creates an enabled access-telemetry recorder for a
+// dataset with the given spatial domain.
+func NewAccessRecorder(name string, bounds Box, opts AccessOptions) *AccessRecorder {
+	return access.New(name, bounds, opts)
+}
+
+// NewAccessRegistry creates a registry of per-dataset access recorders.
+func NewAccessRegistry(opts AccessOptions) *AccessRegistry {
+	return access.NewRegistry(opts)
+}
 
 // Aggregation strategies.
 const (
@@ -225,6 +250,7 @@ type Dataset struct {
 	cacheLimit int64 // total budget across leaves; 0 = unbounded
 	col        *obs.Collector
 	obsLabels  []obs.Label
+	accessRec  *access.Recorder
 }
 
 // leafSlot is one leaf file's singleflight slot: ready is closed once f/err
@@ -324,6 +350,38 @@ func (d *Dataset) SetObserver(col *obs.Collector, labels ...obs.Label) {
 	}
 }
 
+// SetAccessRecorder attaches an access-telemetry recorder to the dataset:
+// every query then records which treelets, heatmap cells, and attributes
+// it touched, and a structured record of itself in the recorder's
+// recent-query ring. Applies to open and future leaf files; nil detaches
+// (future queries pay only nil checks).
+func (d *Dataset) SetAccessRecorder(rec *AccessRecorder) {
+	d.mu.Lock()
+	d.accessRec = rec
+	type leafSlotAt struct {
+		li int
+		s  *leafSlot
+	}
+	slots := make([]leafSlotAt, 0, len(d.files))
+	for li, s := range d.files {
+		slots = append(slots, leafSlotAt{li, s})
+	}
+	d.mu.Unlock()
+	for _, ls := range slots {
+		<-ls.s.ready
+		if ls.s.err == nil {
+			ls.s.f.SetAccessRecorder(rec, ls.li)
+		}
+	}
+}
+
+// AccessRecorder returns the attached recorder (nil when telemetry is off).
+func (d *Dataset) AccessRecorder() *AccessRecorder {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.accessRec
+}
+
 // CacheStats aggregates treelet cache counters across open leaf files.
 func (d *Dataset) CacheStats() CacheStats {
 	d.mu.Lock()
@@ -400,10 +458,10 @@ func (d *Dataset) leaf(li int) (*bat.File, error) {
 	}
 	s := &leafSlot{ready: make(chan struct{})}
 	d.files[li] = s
-	cfg, per, col, labels := d.qcfg, d.perLeafLimitLocked(), d.col, d.obsLabels
+	cfg, per, col, labels, rec := d.qcfg, d.perLeafLimitLocked(), d.col, d.obsLabels, d.accessRec
 	d.mu.Unlock()
 
-	s.f, s.err = d.openLeaf(li, cfg, per, col, labels)
+	s.f, s.err = d.openLeaf(li, cfg, per, col, labels, rec)
 	if s.err != nil {
 		d.mu.Lock()
 		if d.files[li] == s {
@@ -415,7 +473,7 @@ func (d *Dataset) leaf(li int) (*bat.File, error) {
 	return s.f, s.err
 }
 
-func (d *Dataset) openLeaf(li int, cfg QueryConfig, cacheLimit int64, col *obs.Collector, labels []obs.Label) (*bat.File, error) {
+func (d *Dataset) openLeaf(li int, cfg QueryConfig, cacheLimit int64, col *obs.Collector, labels []obs.Label, rec *access.Recorder) (*bat.File, error) {
 	h, err := d.store.Open(d.meta.Leaves[li].FileName)
 	if err != nil {
 		return nil, err
@@ -431,6 +489,9 @@ func (d *Dataset) openLeaf(li int, cfg QueryConfig, cacheLimit int64, col *obs.C
 	if col != nil {
 		f.SetObserver(col, labels...)
 	}
+	if rec != nil {
+		f.SetAccessRecorder(rec, li)
+	}
 	return f, nil
 }
 
@@ -439,21 +500,88 @@ func (d *Dataset) openLeaf(li int, cfg QueryConfig, cacheLimit int64, col *obs.C
 // before each surviving file's BAT is traversed. Progressive quality
 // windows apply per leaf file.
 func (d *Dataset) Query(q Query, visit Visitor) error {
+	return d.QueryTagged("dataset", q, visit)
+}
+
+// QueryTagged is Query with an explicit source tag for the access-telemetry
+// recent-query log (e.g. "batserve:/points"); with no recorder attached it
+// is exactly Query.
+func (d *Dataset) QueryTagged(source string, q Query, visit Visitor) error {
+	d.mu.Lock()
+	rec, workers := d.accessRec, d.qcfg.Workers
+	d.mu.Unlock()
+
 	var filters []meta.AttrFilter
 	for _, f := range q.Filters {
 		filters = append(filters, meta.AttrFilter{Attr: f.Attr, Min: f.Min, Max: f.Max})
 	}
 	selected := d.meta.SelectLeaves(q.Bounds, filters)
+
+	if rec == nil {
+		for _, li := range selected {
+			f, err := d.leaf(li)
+			if err != nil {
+				return err
+			}
+			if err := f.Query(q, visit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	start := time.Now()
+	before := d.CacheStats()
+	var total QueryStats
+	var qerr error
 	for _, li := range selected {
 		f, err := d.leaf(li)
 		if err != nil {
-			return err
+			qerr = err
+			break
 		}
-		if err := f.Query(q, visit); err != nil {
-			return err
+		st, err := f.QueryWithStats(q, visit)
+		total.Visited += st.Visited
+		total.FalsePositives += st.FalsePositives
+		total.PrunedSubtrees += st.PrunedSubtrees
+		total.Treelets += st.Treelets
+		if err != nil {
+			qerr = err
+			break
 		}
 	}
-	return nil
+	after := d.CacheStats()
+	// Cache hit ratio over this query's lookups, from the counter delta.
+	// Approximate when queries overlap — concurrent lookups land in the
+	// same window — but exact in the common serial-server case.
+	var ratio float64
+	lookups := (after.Hits - before.Hits) + (after.Misses - before.Misses)
+	if lookups > 0 {
+		ratio = float64(after.Hits-before.Hits) / float64(lookups)
+	}
+	recFilters := make([]access.FilterRange, len(q.Filters))
+	for i, flt := range q.Filters {
+		name := fmt.Sprintf("attr%d", flt.Attr)
+		if flt.Attr >= 0 && flt.Attr < d.meta.Schema.NumAttrs() {
+			name = d.meta.Schema.Attrs[flt.Attr].Name
+		}
+		recFilters[i] = access.FilterRange{Attr: name, Min: flt.Min, Max: flt.Max}
+	}
+	rec.Record(access.QueryRecord{
+		Source:         source,
+		Box:            access.BoxRecord(q.Bounds),
+		Filters:        recFilters,
+		PrevQuality:    q.PrevQuality,
+		Quality:        q.Quality,
+		Workers:        workers,
+		Treelets:       total.Treelets,
+		Particles:      total.Visited,
+		Pruned:         total.PrunedSubtrees,
+		FalsePositives: total.FalsePositives,
+		Seconds:        time.Since(start).Seconds(),
+		CacheHitRatio:  ratio,
+	})
+	return qerr
 }
 
 // Count returns the number of particles a query would visit.

@@ -12,4 +12,23 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_read.json}"
 particles="${READBENCH_PARTICLES:-400000}"
 
+# The parallel-read numbers are meaningless on one core: every Workers>1
+# configuration degenerates to time-sliced serial execution plus scheduler
+# overhead. Record the core count prominently so a baseline generated on the
+# wrong machine is obvious in review.
+maxprocs="$(go run ./cmd/batbench -print-gomaxprocs 2>/dev/null || nproc)"
+echo "bench.sh: GOMAXPROCS=$maxprocs"
+if [ "$maxprocs" -le 1 ]; then
+	echo "bench.sh: WARNING ------------------------------------------------" >&2
+	echo "bench.sh: WARNING: only 1 usable CPU. Parallel read configurations" >&2
+	echo "bench.sh: WARNING: cannot speed up; a baseline recorded here would" >&2
+	echo "bench.sh: WARNING: misrepresent the read path. Refusing to touch"   >&2
+	echo "bench.sh: WARNING: BENCH_read.json; pass an explicit output path"   >&2
+	echo "bench.sh: WARNING: to force a single-core run."                     >&2
+	echo "bench.sh: WARNING ------------------------------------------------" >&2
+	if [ "$out" = "BENCH_read.json" ]; then
+		exit 1
+	fi
+fi
+
 go run ./cmd/batbench -readbench -readbench-out "$out" -read-particles "$particles"

@@ -74,6 +74,84 @@ readbench_smoke() {
 }
 run "bench smoke readbench" readbench_smoke
 
+# batserve end-to-end smoke: write a small dataset, serve it, drive a few
+# queries over HTTP, and require /metrics, /debug/access, and /debug/queries
+# to answer well-formed. This is the only stage that exercises the real
+# binary over a real socket.
+batserve_smoke() {
+	dir="$(mktemp -d)" || return 1
+	bin="$dir/batserve"
+	log="$dir/serve.log"
+	port="${BATSERVE_SMOKE_PORT:-18931}"
+	base="http://127.0.0.1:$port"
+	rc=1
+	pid=""
+	while :; do
+		go run ./cmd/batwrite -workload uniform -ranks 4 -particles 20000 \
+			-out "$dir/data" -name smoke >/dev/null || break
+		go build -o "$bin" ./cmd/batserve || break
+		"$bin" -in "$dir/data" -name smoke -addr "127.0.0.1:$port" \
+			-access-persist >"$log" 2>&1 &
+		pid=$!
+		up=""
+		for _ in $(seq 1 50); do
+			if curl -sf "$base/info" >/dev/null 2>&1; then
+				up=1
+				break
+			fi
+			kill -0 "$pid" 2>/dev/null || break
+			sleep 0.2
+		done
+		if [ -z "$up" ]; then
+			echo "batserve never came up; log:"
+			cat "$log"
+			break
+		fi
+		# A clustered workload plus one filtered query, so the telemetry
+		# endpoints have per-treelet hits, heatmap mass, and a query log.
+		ok=1
+		for i in 1 2 3; do
+			curl -sf "$base/points?box=0,0,0,0.5,0.5,0.5" >/dev/null || ok=""
+		done
+		curl -sf "$base/points?box=0,0,0,1,1,1&filter=0,0,1e30" >/dev/null || ok=""
+		[ -n "$ok" ] || { echo "query requests failed"; break; }
+		curl -sf "$base/metrics" | grep -q '^http_requests_total' ||
+			{ echo "/metrics missing http_requests_total"; break; }
+		curl -sf "$base/metrics" | grep -q '^go_goroutines' ||
+			{ echo "/metrics missing go runtime series"; break; }
+		curl -sf "$base/metrics" | grep -q '_p99' ||
+			{ echo "/metrics missing quantile gauges"; break; }
+		curl -sf "$base/debug/access" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)["datasets"]
+assert d and d[0]["treelets"], "no per-treelet hits"
+assert d[0]["heatmap"], "no heatmap mass"
+' || { echo "/debug/access malformed"; break; }
+		curl -sf "$base/debug/queries?n=2" | python3 -c '
+import json, sys
+q = json.load(sys.stdin)["queries"]
+assert len(q) == 2, f"n=2 returned {len(q)}"
+assert all(r["source"] == "batserve:/points" for r in q)
+' || { echo "/debug/queries malformed"; break; }
+		curl -sf "$base/debug/access?format=prometheus" | grep -q '^access_queries_total' ||
+			{ echo "/debug/access prometheus export malformed"; break; }
+		rc=0
+		break
+	done
+	if [ -n "$pid" ]; then
+		kill -TERM "$pid" 2>/dev/null
+		wait "$pid" 2>/dev/null
+	fi
+	# -access-persist: the shutdown path must have written the sidecar.
+	if [ "$rc" = 0 ] && [ ! -s "$dir/data/smoke.bata" ]; then
+		echo "access sidecar not persisted on shutdown"
+		rc=1
+	fi
+	rm -rf "$dir"
+	return $rc
+}
+run "batserve smoke" batserve_smoke
+
 # Short fuzz pass over both on-disk format parsers: seconds, not a soak —
 # enough to catch parser regressions on the corpus + fresh mutations.
 # (-fuzzminimizetime keeps a newly found interesting input from eating the
