@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -52,17 +54,19 @@ func (f *filterFlags) Set(v string) error {
 func main() {
 	var filters filterFlags
 	var (
-		in       = flag.String("in", "bat-out", "dataset directory")
-		name     = flag.String("name", "", "dataset base name (required)")
-		ranks    = flag.Int("ranks", 8, "number of simulated reader ranks")
-		vis      = flag.Bool("vis", false, "run the progressive visualization read benchmark instead")
-		quality  = flag.Float64("quality", 1, "LOD quality in (0,1] for -count queries")
-		count    = flag.Bool("count", false, "count particles matching -filter/-quality and exit")
-		workers  = flag.Int("query-workers", 0, "traversal goroutines per query for -count (0 = GOMAXPROCS, 1 = serial)")
-		cacheMB  = flag.Int64("cache-mb", 0, "treelet cache budget in MiB for -count (0 = unbounded)")
-		statsOut = flag.String("stats", "", "write telemetry counters/histograms/spans as JSON to this file")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
+		in        = flag.String("in", "bat-out", "dataset directory")
+		name      = flag.String("name", "", "dataset base name (required)")
+		ranks     = flag.Int("ranks", 8, "number of simulated reader ranks")
+		vis       = flag.Bool("vis", false, "run the progressive visualization read benchmark instead")
+		quality   = flag.Float64("quality", 1, "LOD quality in (0,1] for -count queries")
+		count     = flag.Bool("count", false, "count particles matching -filter/-quality and exit")
+		workers   = flag.Int("query-workers", 0, "traversal goroutines per query for -count (0 = GOMAXPROCS, 1 = serial)")
+		cacheMB   = flag.Int64("cache-mb", 0, "treelet cache budget in MiB for -count (0 = unbounded)")
+		statsOut  = flag.String("stats", "", "write telemetry counters/histograms/spans as JSON to this file")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 		accessOut = flag.String("access-out", "", "write the access-telemetry snapshot as a .bata sidecar to this file (batinspect -access reads it)")
+		timeout   = flag.Duration("timeout", 0,
+			"overall read deadline; on a stalled filesystem the collective read degrades to the healthy leaves and reports the rest as partial (0 = none)")
 	)
 	flag.Var(&filters, "filter", "attribute filter attr,min,max (repeatable, with -count)")
 	flag.Parse()
@@ -72,6 +76,12 @@ func main() {
 	}
 	if *name == "" {
 		fail(fmt.Errorf("-name is required"))
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	store, err := libbat.DirStorage(*in)
 	if err != nil {
@@ -128,7 +138,7 @@ func main() {
 		if *accessOut != "" {
 			ds.SetAccessRecorder(libbat.NewAccessRecorder(*name, ds.Bounds(), libbat.AccessOptions{}))
 		}
-		n, err := ds.Count(libbat.Query{Filters: filters, Quality: *quality})
+		n, err := ds.CountCtx(ctx, libbat.Query{Filters: filters, Quality: *quality})
 		if err != nil {
 			fail(err)
 		}
@@ -176,13 +186,17 @@ func main() {
 		box := domain
 		box.Lower = box.Lower.SetComponent(axis, lo)
 		box.Upper = box.Upper.SetComponent(axis, hi)
-		got, stats, err := libbat.Read(c, store, *name, box)
-		if err != nil {
+		got, stats, err := libbat.ReadQueryCtx(ctx, c, store, *name, libbat.Query{Bounds: &box, Quality: 1})
+		if err != nil && !errors.Is(err, libbat.ErrPartial) {
 			return err
 		}
 		mu.Lock()
 		sumParticles += int64(got.Len())
 		mu.Unlock()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batread: rank %d: partial read (%d leaves failed): %v\n",
+				c.Rank(), len(stats.LeafErrors), err)
+		}
 		if c.Rank() == 0 {
 			fmt.Printf("rank 0: meta=%v fileread=%v transfer=%v (%d files served)\n",
 				stats.Metadata.Round(time.Microsecond), stats.FileRead.Round(time.Microsecond),

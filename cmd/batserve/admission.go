@@ -1,0 +1,104 @@
+// Admission control for batserve: a bounded number of queries run at once,
+// a bounded number wait in line, and everyone else is told to come back.
+// Without it, a burst of expensive queries (or a stalled filesystem holding
+// queries open) stacks goroutines and treelet-cache pressure without limit;
+// with it, overload degrades to fast, honest 429/503 responses that a
+// client can retry against, and the server keeps serving the queries it
+// admitted.
+package main
+
+import (
+	"context"
+	"net/http"
+
+	"libbat/internal/obs"
+)
+
+// admission is the server's query gate. A nil *admission admits everything
+// (the -max-inflight flag unset), so callers never branch on enablement.
+//
+// Both capacities are channels used as counting semaphores: slots holds the
+// queries currently running, queue holds the ones waiting for a slot. A
+// request first tries for a free slot; failing that it takes a queue place
+// (full queue → immediate 429) and waits for a slot or its context — so a
+// queued request whose deadline fires leaves the line instead of occupying
+// it, and a client that disconnects frees its place immediately.
+type admission struct {
+	slots chan struct{}
+	queue chan struct{}
+	col   *obs.Collector
+}
+
+// newAdmission builds a gate for maxInflight concurrent queries and up to
+// queueDepth waiters. maxInflight <= 0 disables admission entirely (returns
+// nil); queueDepth < 0 is treated as 0 (no waiting, reject on saturation).
+func newAdmission(col *obs.Collector, maxInflight, queueDepth int) *admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, maxInflight),
+		queue: make(chan struct{}, queueDepth),
+		col:   col,
+	}
+}
+
+// acquire admits the request or decides its rejection status. It returns
+// (release, 0) on admission — the caller MUST call release exactly once
+// when the query finishes — or (nil, status) where status is the HTTP code
+// to reply with: 429 when the wait queue is full, 503 when ctx ended while
+// queued. Rejected requests should carry a Retry-After header (see reject).
+func (a *admission) acquire(ctx context.Context) (release func(), status int) {
+	if a == nil {
+		return func() {}, 0
+	}
+	// Fast path: a slot is free right now.
+	select {
+	case a.slots <- struct{}{}:
+		a.col.Add("bat_admission_admitted_total", 1)
+		return a.release, 0
+	default:
+	}
+	// Take a place in line, or bounce if the line is full.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.col.Add("bat_admission_rejected_total", 1, obs.L("reason", "queue_full"))
+		return nil, http.StatusTooManyRequests
+	}
+	a.col.Add("bat_admission_queued_total", 1)
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		a.col.Add("bat_admission_admitted_total", 1)
+		return a.release, 0
+	case <-ctx.Done():
+		a.col.Add("bat_admission_rejected_total", 1, obs.L("reason", "deadline"))
+		return nil, http.StatusServiceUnavailable
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// reject writes the rejection response for a non-zero acquire status: the
+// status code, a Retry-After hint (overload here is transient — queries
+// finish in seconds), and a JSON error body.
+func (a *admission) reject(w http.ResponseWriter, status int) {
+	w.Header().Set("Retry-After", "1")
+	var msg string
+	switch status {
+	case http.StatusTooManyRequests:
+		msg = "query queue full, retry shortly"
+	default:
+		msg = "timed out waiting for a query slot"
+	}
+	jsonError(w, status, errString(msg))
+}
+
+// errString is a trivial error so jsonError can be reused verbatim.
+type errString string
+
+func (e errString) Error() string { return string(e) }

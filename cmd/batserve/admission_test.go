@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"libbat/internal/obs"
+)
+
+// TestAdmissionDisabled: a nil gate admits everything and release is safe.
+func TestAdmissionDisabled(t *testing.T) {
+	var a *admission
+	release, status := a.acquire(context.Background())
+	if status != 0 {
+		t.Fatalf("nil admission rejected with %d", status)
+	}
+	release()
+	if newAdmission(obs.New(), 0, 5) != nil {
+		t.Error("maxInflight=0 must disable admission")
+	}
+}
+
+// TestAdmissionLifecycle walks the full state machine: admit to capacity,
+// queue one waiter, bounce the next (429), time the waiter out (503), and
+// verify a released slot admits again.
+func TestAdmissionLifecycle(t *testing.T) {
+	col := obs.New()
+	a := newAdmission(col, 1, 1)
+
+	rel1, status := a.acquire(context.Background())
+	if status != 0 {
+		t.Fatalf("first acquire rejected with %d", status)
+	}
+
+	// Second request queues; give it a deadline so the test can drive it
+	// into the 503 path later.
+	waiter := make(chan int, 1)
+	wctx, wcancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer wcancel()
+	go func() {
+		rel, status := a.acquire(wctx)
+		if rel != nil {
+			rel()
+		}
+		waiter <- status
+	}()
+	// Wait until the waiter actually occupies the queue place.
+	for i := 0; len(a.queue) == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third request finds slot and queue both full: immediate 429.
+	if _, status := a.acquire(context.Background()); status != 429 {
+		t.Fatalf("over-capacity acquire = %d, want 429", status)
+	}
+
+	// The queued waiter's deadline fires: 503.
+	if status := <-waiter; status != 503 {
+		t.Fatalf("queued waiter = %d, want 503", status)
+	}
+
+	// Slot freed: admission works again.
+	rel1()
+	rel2, status := a.acquire(context.Background())
+	if status != 0 {
+		t.Fatalf("post-release acquire rejected with %d", status)
+	}
+	rel2()
+
+	// The counters observed every transition.
+	rec := httptest.NewRecorder()
+	col.WritePrometheus(rec)
+	body := rec.Body.String()
+	for _, want := range []string{
+		"bat_admission_admitted_total 2",
+		`bat_admission_rejected_total{reason="queue_full"} 1`,
+		`bat_admission_rejected_total{reason="deadline"} 1`,
+		"bat_admission_queued_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestPointsAdmission429: with the gate saturated and no queue, /points
+// replies 429 with a Retry-After hint and a JSON error body.
+func TestPointsAdmission429(t *testing.T) {
+	s, _ := testServer(t)
+	s.adm = newAdmission(obs.New(), 1, 0)
+	// Saturate the only slot directly.
+	release, status := s.adm.acquire(context.Background())
+	if status != 0 {
+		t.Fatal("could not take the slot")
+	}
+	defer release()
+
+	rec := httptest.NewRecorder()
+	s.points(rec, httptest.NewRequest("GET", "/points", nil))
+	if rec.Code != 429 {
+		t.Fatalf("saturated /points = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("429 Content-Type %q", ct)
+	}
+}
+
+// TestPointsQueryTimeoutConfigured: the -query-timeout deadline applies
+// even when the client sets none — a request context with no deadline gets
+// one from the server.
+func TestPointsQueryTimeoutConfigured(t *testing.T) {
+	s, total := testServer(t)
+	s.queryTimeout = time.Minute // generous: must NOT fire on a healthy read
+	rec := httptest.NewRecorder()
+	s.points(rec, httptest.NewRequest("GET", "/points", nil))
+	if rec.Code != 200 || rec.Body.Len() != total*12 {
+		t.Fatalf("healthy read under -query-timeout: status %d, %d bytes",
+			rec.Code, rec.Body.Len())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"libbat"
+	"libbat/internal/leakcheck"
 )
 
 // TestOverlappingQueries fires many simultaneous /points requests at one
@@ -84,6 +85,7 @@ func TestOverlappingQueries(t *testing.T) {
 // /points and /info requests: the write lock must wait out in-flight
 // queries, and later requests must transparently reopen the dataset.
 func TestCloseDuringQueries(t *testing.T) {
+	leakcheck.Check(t)
 	s, total := testServer(t)
 	s.qcfg = libbat.QueryConfig{Workers: 2}
 	ts := httptest.NewServer(s.routes())

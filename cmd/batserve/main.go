@@ -63,6 +63,13 @@ type server struct {
 	access  *libbat.AccessRegistry
 	persist bool
 	pprofOn bool
+
+	// queryTimeout bounds each /points query (0 = no deadline); adm is the
+	// admission gate for /points (nil = unlimited concurrency). Both exist
+	// so a slow filesystem or a query storm degrades to prompt 504/429/503
+	// responses instead of unbounded goroutine and cache pressure.
+	queryTimeout time.Duration
+	adm          *admission
 }
 
 // jsonError replies with a JSON error body and the given status code.
@@ -232,6 +239,12 @@ func main() {
 			"recent-query ring size per dataset (0 = default)")
 		pprofOn = flag.Bool("pprof", false,
 			"serve net/http/pprof profiling endpoints under /debug/pprof/")
+		queryTimeout = flag.Duration("query-timeout", 0,
+			"per-query deadline for /points, including queue wait (0 = none)")
+		maxInflight = flag.Int("max-inflight", 0,
+			"maximum concurrently running /points queries (0 = unlimited)")
+		queueDepth = flag.Int("queue-depth", 16,
+			"requests allowed to wait for a query slot when -max-inflight is saturated")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -252,7 +265,9 @@ func main() {
 	s := &server{store: store, names: names, open: map[int]*libbat.Dataset{},
 		col: obs.New(), qcfg: qcfg, cacheBytes: *cacheMB << 20,
 		access:  libbat.NewAccessRegistry(libbat.AccessOptions{RingSize: *accessRing}),
-		persist: *accessPersist, pprofOn: *pprofOn}
+		persist: *accessPersist, pprofOn: *pprofOn,
+		queryTimeout: *queryTimeout}
+	s.adm = newAdmission(s.col, *maxInflight, *queueDepth)
 	ds, err := s.dataset(0)
 	if err != nil {
 		log.Fatal(err)
@@ -396,6 +411,24 @@ func (s *server) points(w http.ResponseWriter, r *http.Request) {
 		}
 		q.Filters = append(q.Filters, libbat.AttrFilter{Attr: int(vals[0]), Min: vals[1], Max: vals[2]})
 	}
+	// The request context carries client disconnects; the server's query
+	// deadline stacks on top. Established BEFORE admission so time spent
+	// queued counts against the deadline, and a disconnected client leaves
+	// the queue immediately.
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+	// Admission is acquired before the dataset read lock so queued requests
+	// never delay closeDatasets.
+	release, admStatus := s.adm.acquire(ctx)
+	if admStatus != 0 {
+		s.adm.reject(w, admStatus)
+		return
+	}
+	defer release()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ds, step, ok := s.openStep(w, r)
@@ -423,8 +456,12 @@ func (s *server) points(w http.ResponseWriter, r *http.Request) {
 	}
 	var points int64
 	qStart := time.Now()
-	err := ds.QueryTagged("batserve:/points", q, func(p libbat.Vec3, attrs []float64) error {
+	err := ds.QueryTaggedCtx(ctx, "batserve:/points", q, func(p libbat.Vec3, attrs []float64) error {
 		if points == 0 {
+			// Declare the trailers before the status commits: if the query
+			// dies mid-stream the truncation is announced in-band instead of
+			// silently ending a 200.
+			w.Header().Set("Trailer", "X-Batserve-Status, X-Batserve-Points")
 			w.Header().Set("Content-Type", "application/octet-stream")
 		}
 		points++
@@ -442,17 +479,46 @@ func (s *server) points(w http.ResponseWriter, r *http.Request) {
 	s.col.Add("points_streamed_total", points)
 	if err != nil {
 		if points == 0 {
+			// Nothing on the wire yet: a real error status is still possible.
+			if isCtxErr(err) {
+				// Deadline (or client gone) before the first point. 504 with
+				// partial-result accounting so the client knows how much of
+				// the answer it has (none) and that retrying may succeed.
+				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusGatewayTimeout)
+				json.NewEncoder(w).Encode(map[string]any{
+					"error":           err.Error(),
+					"partial":         true,
+					"points_streamed": points,
+				})
+				return
+			}
 			jsonError(w, http.StatusInternalServerError, err)
 			return
 		}
 		// Mid-stream failure: the 200 header is already on the wire, so the
-		// best we can do is truncate the body and log it.
+		// truncation is reported in the declared trailers and the log.
+		status := "error"
+		if isCtxErr(err) {
+			status = "timeout"
+		}
+		w.Header().Set("X-Batserve-Status", status)
+		w.Header().Set("X-Batserve-Points", strconv.FormatInt(points, 10))
 		log.Printf("batserve: query aborted after %d points: %v", points, err)
 		return
 	}
 	if points == 0 {
 		w.Header().Set("Content-Type", "application/octet-stream")
+		return
 	}
+	w.Header().Set("X-Batserve-Status", "complete")
+	w.Header().Set("X-Batserve-Points", strconv.FormatInt(points, 10))
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func (s *server) page(w http.ResponseWriter, r *http.Request) {

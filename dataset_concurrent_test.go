@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"libbat/internal/leakcheck"
 )
 
 // TestDatasetConcurrentQuery: one Dataset, many goroutines, mixed query
 // shapes. Before the sharded leaf cache this raced on Dataset.files (run
 // under -race via check.sh); now every query must see the full count.
 func TestDatasetConcurrentQuery(t *testing.T) {
+	leakcheck.Check(t)
 	store, total := writeTestDataset(t, "conc", 20*1024)
 	ds, err := OpenDataset(store, "conc")
 	if err != nil {

@@ -1,8 +1,9 @@
-// Package analyzers holds the repo's custom static-analysis suite: five
+// Package analyzers holds the repo's custom static-analysis suite: six
 // checks that mechanically enforce invariants the pipeline otherwise relies
 // on by convention — little-endian on-disk serialization, guarded narrowing
 // of untrusted decoded integers, a clock/rand/map-order-free BAT build,
-// consumed fabric/pfs errors, and paired obs spans. cmd/batlint drives the
+// consumed fabric/pfs errors, paired obs spans, and cancellation-aware
+// sleeps (pfs.SleepContext over time.Sleep). cmd/batlint drives the
 // suite; DESIGN.md §9 maps each analyzer to the bug class that motivated
 // it. Findings are suppressed only by an auditable
 // //batlint:ignore <analyzer> <justification> comment.
@@ -18,7 +19,7 @@ import (
 
 // All returns the full suite in a stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Endian, UintCast, Determinism, FabricErr, SpanPair}
+	return []*analysis.Analyzer{Endian, UintCast, Determinism, FabricErr, SpanPair, CtxSleep}
 }
 
 // inScope reports whether a package import path contains any of elems as a

@@ -1,0 +1,53 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"libbat/internal/analyzers/analysis"
+)
+
+// ctxSleepExempt lists path elements where a bare time.Sleep is the
+// intended idiom and flagging every site would be noise, not signal:
+// fabric's simulated communicator uses tiny sleeps as scheduler yields
+// inside machinery that must keep polling through cancellation (the
+// collective protocol is what delivers cancellation as error replies, so
+// its own progress loops cannot be the thing that stops).
+var ctxSleepExempt = []string{"fabric"}
+
+// CtxSleep flags bare time.Sleep calls in non-test code. A time.Sleep is
+// invisible to context cancellation: a retry backoff or injected-latency
+// delay written with it keeps a canceled query (and whatever goroutine,
+// lock, or singleflight slot it holds) alive for the full duration — the
+// exact bug PR 7 fixed in pfs.Retry, where exponential backoff stacked
+// uncancellable sleeps in front of every stalled read. pfs.SleepContext
+// sleeps the same duration but returns early with ctx.Err() when the
+// caller gives up. Sites that genuinely must not be interrupted carry a
+// //batlint:ignore ctxsleep waiver saying why.
+var CtxSleep = &analysis.Analyzer{
+	Name: "ctxsleep",
+	Doc: "non-test code must not call bare time.Sleep: it ignores cancellation; " +
+		"use pfs.SleepContext(ctx, d), or waive with //batlint:ignore ctxsleep <why>",
+	Run: runCtxSleep,
+}
+
+func runCtxSleep(pass *analysis.Pass) error {
+	if inScope(pass.Pkg.Path(), ctxSleepExempt...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "Sleep" || pkgPathOf(fn) != "time" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"bare time.Sleep ignores cancellation and pins the caller for the full duration; use pfs.SleepContext(ctx, d) or waive with //batlint:ignore ctxsleep <why>")
+			return true
+		})
+	}
+	return nil
+}

@@ -34,3 +34,7 @@ func TestFabricErr(t *testing.T) {
 func TestSpanPair(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analyzers.SpanPair, "spanpair/core")
 }
+
+func TestCtxSleep(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analyzers.CtxSleep, "ctxsleep/bat", "ctxsleep/fabric")
+}

@@ -1,0 +1,32 @@
+// Package bat is a ctxsleep fixture: an in-scope package exercising the
+// positive finding, the waiver path, and non-findings (a different Sleep,
+// a timer-based wait).
+package bat
+
+import (
+	gotime "time"
+)
+
+func backoff(d gotime.Duration) {
+	gotime.Sleep(d) // want `bare time\.Sleep ignores cancellation`
+}
+
+func waived(d gotime.Duration) {
+	gotime.Sleep(d) //batlint:ignore ctxsleep fixture: demonstrates an audited uninterruptible wait
+}
+
+// otherSleep is a local function that happens to be named Sleep: not the
+// time package's, not flagged.
+func otherSleep(d gotime.Duration) {}
+
+func usesOtherSleep() {
+	otherSleep(0)
+}
+
+// timerWait blocks on a timer channel — interruptible by adding a ctx case,
+// so it is the approved shape and not flagged.
+func timerWait(d gotime.Duration) {
+	t := gotime.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}

@@ -1,0 +1,10 @@
+// Package fabric is the ctxsleep out-of-scope fixture: the real fabric
+// package's scheduler-yield sleeps are exempt wholesale, so nothing here
+// is flagged.
+package fabric
+
+import "time"
+
+func yield() {
+	time.Sleep(50 * time.Microsecond)
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"libbat/internal/analyzers/analysis"
 )
@@ -21,11 +22,11 @@ import (
 // The guard detection is syntactic and local — any <, >, <=, >= comparison
 // whose operand prints identically to the converted expression, earlier in
 // the same function — plus one deliberate cross-function rule: a struct
-// field compared in a function named Decode is trusted everywhere in the
-// package. Decode is where the format packages validate untrusted header
-// fields against the file size before storing them, so a field that was
-// bounds-checked there (File.NumParticles, leafRef.offset) is safe to
-// narrow at query time without a waiver. Fields checked anywhere else, or
+// field compared in a Decode* function (Decode, DecodeCtx) is trusted
+// everywhere in the package. Decode is where the format packages validate
+// untrusted header fields against the file size before storing them, so a
+// field that was bounds-checked there (File.NumParticles, leafRef.offset)
+// is safe to narrow at query time without a waiver. Fields checked anywhere else, or
 // never, still require a local guard or a //batlint:ignore uintcast
 // waiver. Full taint-style tracking through arbitrary helpers remains a
 // ROADMAP follow-up.
@@ -33,7 +34,7 @@ var UintCast = &analysis.Analyzer{
 	Name: "uintcast",
 	Doc: "in format packages (bat, meta, particles, checksum), converting a non-constant uint64 to a " +
 		"signed or narrower integer requires a preceding bounds check on the same expression in the " +
-		"same function, or on the same struct field in Decode",
+		"same function, or on the same struct field in a Decode* function",
 	Run: runUintCast,
 }
 
@@ -78,16 +79,17 @@ func runUintCast(pass *analysis.Pass) error {
 }
 
 // decodeCheckedFields collects every struct field that appears as a bare
-// operand of a relational comparison inside a function named Decode in
-// this package. Those comparisons are the format layer's validation of
-// untrusted on-disk values (typically against the file size), so the
-// fields they bound are trusted for narrowing conversions package-wide.
+// operand of a relational comparison inside a Decode* function (Decode,
+// DecodeCtx) in this package. Those comparisons are the format layer's
+// validation of untrusted on-disk values (typically against the file
+// size), so the fields they bound are trusted for narrowing conversions
+// package-wide.
 func decodeCheckedFields(pass *analysis.Pass) map[types.Object]bool {
 	checked := map[types.Object]bool{}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || fn.Name.Name != "Decode" {
+			if !ok || fn.Body == nil || !strings.HasPrefix(fn.Name.Name, "Decode") {
 				continue
 			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {

@@ -14,11 +14,13 @@ package bat
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"libbat/internal/obs"
 	"libbat/internal/obs/access"
+	"libbat/internal/pfs"
 )
 
 // cacheShards is the number of independently locked cache shards. A small
@@ -117,20 +119,40 @@ func (c *treeletCache) shardOf(ti int) *cacheShard {
 // it completes and share the result. Load errors are returned to every
 // waiter but not cached, so a transient I/O failure is retried on the next
 // lookup.
-func (c *treeletCache) get(ti int, load func() (*parsedTreelet, error)) (*parsedTreelet, error) {
+//
+// Cancellation semantics: a waiter whose ctx ends detaches — it returns
+// ctx.Err() immediately while the in-flight load keeps running for the
+// remaining waiters, so one impatient query never poisons the shared
+// result. Conversely, when the LOADER dies of its own caller's
+// cancellation, waiters whose contexts are still live must not inherit
+// that error: the failed entry was already dropped (errors are never
+// cached), so they loop and load afresh under their own context.
+func (c *treeletCache) get(ctx context.Context, ti int, load func(context.Context) (*parsedTreelet, error)) (*parsedTreelet, error) {
 	sh := c.shardOf(ti)
-	sh.mu.Lock()
-	if e, ok := sh.entries[ti]; ok {
+	for {
+		sh.mu.Lock()
+		e, ok := sh.entries[ti]
+		if !ok {
+			break
+		}
 		if e.elem != nil {
 			sh.lru.MoveToFront(e.elem)
 		}
 		sh.mu.Unlock()
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err() // detach; the load continues without us
+		}
 		if e.err == nil {
 			c.hits.Add(1)
 			c.obsHits.Inc()
+			return e.t, nil
 		}
-		return e.t, e.err
+		if pfs.IsContextErr(e.err) && ctx.Err() == nil {
+			continue // the loader was canceled, we were not: retry
+		}
+		return nil, e.err
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	sh.entries[ti] = e
@@ -138,7 +160,7 @@ func (c *treeletCache) get(ti int, load func() (*parsedTreelet, error)) (*parsed
 
 	c.misses.Add(1)
 	c.obsMisses.Inc()
-	t, err := load()
+	t, err := load(ctx)
 
 	if err == nil {
 		c.access.TreeletLoad(c.accessLeaf, ti)

@@ -1,6 +1,7 @@
 package bat
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -29,7 +30,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			tl, err := c.get(42, func() (*parsedTreelet, error) {
+			tl, err := c.get(context.Background(), 42, func(context.Context) (*parsedTreelet, error) {
 				loads.Add(1)
 				<-gate // hold every racer in the waiting path
 				return want, nil
@@ -61,11 +62,11 @@ func TestCacheSingleflight(t *testing.T) {
 func TestCacheErrorNotCached(t *testing.T) {
 	c := newTreeletCache()
 	boom := errors.New("disk on fire")
-	if _, err := c.get(7, func() (*parsedTreelet, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, err := c.get(context.Background(), 7, func(context.Context) (*parsedTreelet, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("got %v, want %v", err, boom)
 	}
 	want := fakeTreelet(4)
-	tl, err := c.get(7, func() (*parsedTreelet, error) { return want, nil })
+	tl, err := c.get(context.Background(), 7, func(context.Context) (*parsedTreelet, error) { return want, nil })
 	if err != nil || tl != want {
 		t.Fatalf("retry after error: got (%v, %v), want (%v, nil)", tl, err, want)
 	}
@@ -96,7 +97,7 @@ func TestCacheEviction(t *testing.T) {
 	// Each fake treelet is 400 bytes; budget two per shard.
 	c.limit.Store(800 * cacheShards)
 	for _, ti := range sameShard {
-		if _, err := c.get(ti, func() (*parsedTreelet, error) { return fakeTreelet(100), nil }); err != nil {
+		if _, err := c.get(context.Background(), ti, func(context.Context) (*parsedTreelet, error) { return fakeTreelet(100), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -111,7 +112,7 @@ func TestCacheEviction(t *testing.T) {
 	// is a miss that reloads.
 	misses := st.Misses
 	var reloaded atomic.Bool
-	if _, err := c.get(sameShard[0], func() (*parsedTreelet, error) {
+	if _, err := c.get(context.Background(), sameShard[0], func(context.Context) (*parsedTreelet, error) {
 		reloaded.Store(true)
 		return fakeTreelet(100), nil
 	}); err != nil {
@@ -137,10 +138,10 @@ func TestCacheLRUOrder(t *testing.T) {
 		}
 	}
 	c.limit.Store(800 * cacheShards) // two 400-byte treelets per shard
-	load := func() (*parsedTreelet, error) { return fakeTreelet(100), nil }
+	load := func(context.Context) (*parsedTreelet, error) { return fakeTreelet(100), nil }
 	mustGet := func(ti int) {
 		t.Helper()
-		if _, err := c.get(ti, load); err != nil {
+		if _, err := c.get(context.Background(), ti, load); err != nil {
 			t.Fatal(err)
 		}
 	}

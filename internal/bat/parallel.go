@@ -16,6 +16,7 @@
 package bat
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -52,15 +53,20 @@ type queryBatch struct {
 }
 
 // runParallel traverses the candidate treelets with w worker goroutines,
-// delivering batches to visit on the calling goroutine.
-func (f *File) runParallel(s *queryState, cands []int, cfg QueryConfig, w int, tc *traversalCounters, visit Visitor) error {
+// delivering batches to visit on the calling goroutine. cancel is the
+// shared abort flag: already wired to ctx by the caller when ctx is
+// cancellable, created here otherwise (visitor errors still need it to
+// stop the workers).
+func (f *File) runParallel(ctx context.Context, s *queryState, cands []int, cfg QueryConfig, w int, tc *traversalCounters, visit Visitor, cancel *cancelFlag) error {
 	// Each in-flight batch holds one token from acquisition until the
 	// emitter finishes delivering it; results is sized to the token count
 	// so workers never block sending.
 	maxInflight := 2 * w
 	tokens := make(chan struct{}, maxInflight)
 	results := make(chan *queryBatch, maxInflight)
-	cancel := &cancelFlag{}
+	if cancel == nil {
+		cancel = &cancelFlag{}
+	}
 	var next atomic.Int64
 
 	var wg sync.WaitGroup
@@ -81,10 +87,10 @@ func (f *File) runParallel(s *queryState, cands []int, cfg QueryConfig, w int, t
 				if cfg.Readahead > 0 {
 					// Warm the treelet this worker is likely to claim next.
 					if j := idx + w; j < len(cands) {
-						f.prefetch(cands[j], cfg.Readahead)
+						f.prefetch(ctx, cands[j], cfg.Readahead)
 					}
 				}
-				results <- f.collectBatch(s, cands[idx], idx, cancel)
+				results <- f.collectBatch(ctx, s, cands[idx], idx, cancel)
 			}
 		}()
 	}
@@ -102,8 +108,15 @@ func (f *File) runParallel(s *queryState, cands []int, cfg QueryConfig, w int, t
 	}
 	// deliver replays one batch through the visitor; skipped entirely once
 	// a previous batch failed (we still drain results to release tokens
-	// and let workers exit).
+	// and let workers exit). A cancellation observed between batches also
+	// stops delivery — already-collected batches must not keep streaming
+	// to a caller that asked to stop.
 	deliver := func(b *queryBatch) {
+		if firstErr == nil {
+			if cerr := ctx.Err(); cerr != nil {
+				fail(cerr)
+			}
+		}
 		if firstErr != nil {
 			return
 		}
@@ -127,6 +140,9 @@ func (f *File) runParallel(s *queryState, cands []int, cfg QueryConfig, w int, t
 			deliver(b)
 			<-tokens
 		}
+		if firstErr == nil {
+			firstErr = ctx.Err()
+		}
 		return firstErr
 	}
 
@@ -147,14 +163,17 @@ func (f *File) runParallel(s *queryState, cands []int, cfg QueryConfig, w int, t
 			<-tokens
 		}
 	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
 }
 
 // collectBatch loads and traverses one candidate treelet, packing every
 // matching particle into a batch. Never returns nil.
-func (f *File) collectBatch(s *queryState, li, idx int, cancel *cancelFlag) *queryBatch {
+func (f *File) collectBatch(ctx context.Context, s *queryState, li, idx int, cancel *cancelFlag) *queryBatch {
 	b := &queryBatch{idx: idx}
-	t, err := f.loadTreelet(li)
+	t, err := f.loadTreelet(ctx, li)
 	if err != nil {
 		b.err = err
 		return b

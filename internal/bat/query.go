@@ -1,6 +1,7 @@
 package bat
 
 import (
+	"context"
 	"errors"
 	"math"
 	"runtime"
@@ -219,20 +220,47 @@ func (f *File) Query(q Query, visit Visitor) error {
 	return err
 }
 
+// QueryCtx is Query honoring ctx: when ctx ends, the traversal stops
+// promptly (workers observe the shared cancel flag per tree node, storage
+// reads abort) and ctx.Err() is returned. For uncanceled contexts the
+// visit sequence is byte-identical to Query's.
+func (f *File) QueryCtx(ctx context.Context, q Query, visit Visitor) error {
+	_, err := f.QueryWithStatsCtx(ctx, q, visit)
+	return err
+}
+
 // QueryWithStats is Query returning traversal statistics.
 func (f *File) QueryWithStats(q Query, visit Visitor) (QueryStats, error) {
 	return f.QueryWithConfig(q, f.queryConfig(), visit)
 }
 
+// QueryWithStatsCtx is QueryCtx returning traversal statistics.
+func (f *File) QueryWithStatsCtx(ctx context.Context, q Query, visit Visitor) (QueryStats, error) {
+	return f.QueryWithConfigCtx(ctx, q, f.queryConfig(), visit)
+}
+
 // QueryWithConfig runs one traversal under an explicit QueryConfig,
 // overriding the File-level configuration.
 func (f *File) QueryWithConfig(q Query, cfg QueryConfig, visit Visitor) (QueryStats, error) {
+	return f.QueryWithConfigCtx(context.Background(), q, cfg, visit)
+}
+
+// QueryWithConfigCtx is QueryWithConfig honoring ctx. The context is
+// bridged to the traversal's polled cancel flag via context.AfterFunc, so
+// per-node cancellation checks stay a single atomic load.
+func (f *File) QueryWithConfigCtx(ctx context.Context, q Query, cfg QueryConfig, visit Visitor) (QueryStats, error) {
 	s, ok := f.prepare(q)
 	if !ok || len(f.leaves) == 0 {
-		return QueryStats{}, nil
+		return QueryStats{}, ctx.Err()
 	}
 	for _, flt := range q.Filters {
 		f.access.TouchAttr(f.Schema.Attrs[flt.Attr].Name, 1)
+	}
+	var cancel *cancelFlag
+	if ctx.Done() != nil {
+		cancel = &cancelFlag{}
+		stop := context.AfterFunc(ctx, cancel.set)
+		defer stop()
 	}
 	var tc traversalCounters
 	cands, err := f.selectTreelets(s, &tc)
@@ -242,10 +270,20 @@ func (f *File) QueryWithConfig(q Query, cfg QueryConfig, visit Visitor) (QuerySt
 			w = len(cands)
 		}
 		if w <= 1 {
-			err = f.runSerial(s, cands, cfg, &tc, visit)
+			err = f.runSerial(ctx, s, cands, cfg, &tc, visit, cancel)
 		} else {
-			err = f.runParallel(s, cands, cfg, w, &tc, visit)
+			err = f.runParallel(ctx, s, cands, cfg, w, &tc, visit, cancel)
 		}
+	}
+	if err == errTraversalCancelled {
+		// The flag is only ever set externally via ctx here; surface the
+		// context's error rather than the internal sentinel.
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		err = ctx.Err()
 	}
 	return QueryStats{
 		Visited:        tc.visited,
@@ -390,7 +428,7 @@ func (s *queryState) traverseTreelet(f *File, t *parsedTreelet, tc *traversalCou
 // goroutine, with visit order identical to the pre-parallel reader. A
 // sliding readahead window keeps the next cfg.Readahead treelets warming
 // in the cache while the current one is walked.
-func (f *File) runSerial(s *queryState, cands []int, cfg QueryConfig, tc *traversalCounters, visit Visitor) error {
+func (f *File) runSerial(ctx context.Context, s *queryState, cands []int, cfg QueryConfig, tc *traversalCounters, visit Visitor, cancel *cancelFlag) error {
 	emit := func(p geom.Vec3, t *parsedTreelet, pi uint32) error {
 		attrs := make([]float64, len(t.attrs))
 		for a := range attrs {
@@ -400,23 +438,32 @@ func (f *File) runSerial(s *queryState, cands []int, cfg QueryConfig, tc *traver
 		return visit(p, attrs)
 	}
 	for i, li := range cands {
+		if cancel.isSet() {
+			return errTraversalCancelled
+		}
+		// The AfterFunc that sets the flag runs on its own goroutine and
+		// may lag on a busy scheduler; a direct per-treelet check keeps
+		// cancellation prompt regardless.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if cfg.Readahead > 0 {
 			if i == 0 {
 				for j := 1; j <= cfg.Readahead && j < len(cands); j++ {
-					f.prefetch(cands[j], cfg.Readahead)
+					f.prefetch(ctx, cands[j], cfg.Readahead)
 				}
 			} else if i+cfg.Readahead < len(cands) {
-				f.prefetch(cands[i+cfg.Readahead], cfg.Readahead)
+				f.prefetch(ctx, cands[i+cfg.Readahead], cfg.Readahead)
 			}
 		}
-		t, err := f.loadTreelet(li)
+		t, err := f.loadTreelet(ctx, li)
 		if err != nil {
 			return err
 		}
 		tc.treelets++
 		ref := &f.leaves[li]
 		f.access.Treelet(f.accessLeaf, li, int64(ref.byteLen), ref.bounds.Center())
-		if err := s.traverseTreelet(f, t, tc, emit, nil); err != nil {
+		if err := s.traverseTreelet(f, t, tc, emit, cancel); err != nil {
 			return err
 		}
 	}

@@ -6,6 +6,7 @@
 package bat
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"libbat/internal/obs"
 	"libbat/internal/obs/access"
 	"libbat/internal/particles"
+	"libbat/internal/pfs"
 )
 
 // shallowNode is a parsed shallow-tree inner node.
@@ -114,13 +116,17 @@ type File struct {
 	prefetchSlots chan struct{}
 }
 
-// cursor reads sequentially from an io.ReaderAt, buffering ahead.
+// cursor reads sequentially from an io.ReaderAt, buffering ahead. A nil
+// ctx means uncancelable (in-memory parses); otherwise each refill goes
+// through pfs.ReadAtContext so a canceled caller stops issuing reads and
+// ctx-aware sources abort mid-read.
 type cursor struct {
 	src  io.ReaderAt
 	size int64
 	off  int64
 	buf  []byte
 	pos  int
+	ctx  context.Context
 }
 
 func (c *cursor) need(n int) ([]byte, error) {
@@ -138,7 +144,13 @@ func (c *cursor) need(n int) ([]byte, error) {
 			grow = int(c.size - start)
 		}
 		chunk := make([]byte, grow)
-		if _, err := c.src.ReadAt(chunk, start); err != nil {
+		var err error
+		if c.ctx != nil {
+			_, err = pfs.ReadAtContext(c.ctx, c.src, chunk, start)
+		} else {
+			_, err = c.src.ReadAt(chunk, start)
+		}
+		if err != nil {
 			return nil, err
 		}
 		c.buf = append(c.buf, chunk...)
@@ -221,7 +233,14 @@ func (c *cursor) ids(n int) ([]bitmap.ID, error) {
 
 // Decode parses a BAT file image accessible through src.
 func Decode(src io.ReaderAt, size int64) (*File, error) {
-	c := &cursor{src: src, size: size}
+	return DecodeCtx(context.Background(), src, size)
+}
+
+// DecodeCtx is Decode honoring ctx: the header parse aborts when ctx ends,
+// and the context threads into footer reads. Treelet loads are governed by
+// the context of the query that triggers them, not by ctx.
+func DecodeCtx(ctx context.Context, src io.ReaderAt, size int64) (*File, error) {
+	c := &cursor{src: src, size: size, ctx: ctx}
 	mg, err := c.need(4)
 	if err != nil {
 		return nil, fmt.Errorf("bat: reading magic: %w", err)
@@ -433,7 +452,7 @@ func (f *File) loadFooter(c *cursor) error {
 		return fmt.Errorf("bat: file too small for checksum footer")
 	}
 	tail := make([]byte, 8)
-	if _, err := f.src.ReadAt(tail, f.size-8); err != nil && err != io.EOF {
+	if _, err := pfs.ReadAtContext(c.ctx, f.src, tail, f.size-8); err != nil && err != io.EOF {
 		return fmt.Errorf("bat: reading footer: %w", err)
 	}
 	if string(tail[4:]) != footerMagic {
@@ -444,7 +463,7 @@ func (f *File) loadFooter(c *cursor) error {
 		return fmt.Errorf("%w: implausible footer length %d", ErrChecksum, fLen)
 	}
 	foot := make([]byte, fLen-8) // footer minus the trailing length+magic
-	if _, err := f.src.ReadAt(foot, f.size-fLen); err != nil && err != io.EOF {
+	if _, err := pfs.ReadAtContext(c.ctx, f.src, foot, f.size-fLen); err != nil && err != io.EOF {
 		return fmt.Errorf("bat: reading footer: %w", err)
 	}
 	wantFootCRC := binary.LittleEndian.Uint32(foot[len(foot)-4:])
@@ -665,15 +684,20 @@ func (f *File) queryConfig() QueryConfig {
 
 // loadTreelet returns treelet ti, parsing it through the cache: concurrent
 // callers of a cold treelet share one parse, and repeat callers share the
-// immutable in-memory form.
-func (f *File) loadTreelet(ti int) (*parsedTreelet, error) {
-	return f.cache.get(ti, func() (*parsedTreelet, error) { return f.parseTreelet(ti) })
+// immutable in-memory form. ctx governs only this caller's wait and (if it
+// wins the singleflight race) its load; see treeletCache.get for the
+// detach semantics.
+func (f *File) loadTreelet(ctx context.Context, ti int) (*parsedTreelet, error) {
+	return f.cache.get(ctx, ti, func(ctx context.Context) (*parsedTreelet, error) {
+		return f.parseTreelet(ctx, ti)
+	})
 }
 
 // prefetch schedules a bounded background load of treelet ti (readahead
 // for box traversals). Best-effort: when every readahead slot is busy the
-// prefetch is skipped rather than queued.
-func (f *File) prefetch(ti int, slots int) {
+// prefetch is skipped rather than queued. The prefetch runs under the
+// requesting query's ctx, so a canceled query stops issuing warm-up I/O.
+func (f *File) prefetch(ctx context.Context, ti int, slots int) {
 	f.prefetchMu.Lock()
 	if f.prefetchSlots == nil {
 		f.prefetchSlots = make(chan struct{}, slots)
@@ -689,16 +713,16 @@ func (f *File) prefetch(ti int, slots int) {
 		defer f.prefetches.Done()
 		// The treelet lands in the cache (or the error is dropped; the
 		// demand load will surface it); readahead is purely a warm-up.
-		f.loadTreelet(ti)
+		f.loadTreelet(ctx, ti)
 		<-f.prefetchSlots
 	}()
 }
 
 // parseTreelet reads and parses treelet ti from the underlying source.
-func (f *File) parseTreelet(ti int) (*parsedTreelet, error) {
+func (f *File) parseTreelet(ctx context.Context, ti int) (*parsedTreelet, error) {
 	ref := f.leaves[ti]
 	buf := make([]byte, ref.byteLen)
-	if _, err := f.src.ReadAt(buf, int64(ref.offset)); err != nil {
+	if _, err := pfs.ReadAtContext(ctx, f.src, buf, int64(ref.offset)); err != nil {
 		return nil, fmt.Errorf("bat: reading treelet %d: %w", ti, err)
 	}
 	if f.treeletCRCs != nil {

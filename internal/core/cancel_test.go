@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"libbat/internal/bat"
+	"libbat/internal/fabric"
+	"libbat/internal/geom"
+	"libbat/internal/leakcheck"
+	"libbat/internal/pfs"
+	"libbat/internal/workloads"
+)
+
+// TestReadQueryCtxStalledLeaf: a collective read where one leaf file's
+// reads stall indefinitely must complete the protocol on every rank within
+// the ranks' deadlines, returning the healthy leaves' particles together
+// with ErrPartial — and after the stall clears, the same store serves a
+// clean, complete read.
+func TestReadQueryCtxStalledLeaf(t *testing.T) {
+	leakcheck.Check(t)
+	w, err := workloads.NewUniform(4, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := pfs.NewMem()
+	stats := runWrite(t, w, 0, mem, "step0", DefaultWriteConfig(16*1024))
+	if stats.NumFiles < 2 {
+		t.Fatalf("need multiple leaf files for a partial read, got %d", stats.NumFiles)
+	}
+	total := int(stats.TotalCount)
+
+	fau := pfs.NewFaulty(mem, pfs.FaultConfig{})
+	fau.StallReads(LeafFileName("step0", 0))
+
+	whole := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	var mu sync.Mutex
+	var partial int
+	start := time.Now()
+	err = fabric.Run(2, func(c *fabric.Comm) error {
+		ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+		defer cancel()
+		got, st, err := ReadQueryCtx(ctx, c, fau, "step0", bat.Query{Bounds: &whole})
+		if !errors.Is(err, ErrPartial) {
+			return fmt.Errorf("rank %d: err = %v, want ErrPartial", c.Rank(), err)
+		}
+		if got == nil || got.Len() == 0 || got.Len() >= total {
+			n := -1
+			if got != nil {
+				n = got.Len()
+			}
+			return fmt.Errorf("rank %d: partial read returned %d of %d particles", c.Rank(), n, total)
+		}
+		if len(st.LeafErrors) == 0 {
+			return fmt.Errorf("rank %d: ErrPartial with no LeafErrors", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("stalled collective read took %v, want bounded by the 400ms deadlines", elapsed)
+	}
+
+	// The "mount" recovers: the stalled leaf was never cached in an error
+	// state, so a fresh read sees every particle.
+	fau.ReleaseStalls()
+	err = fabric.Run(2, func(c *fabric.Comm) error {
+		got, _, err := ReadQueryCtx(context.Background(), c, fau, "step0", bat.Query{Bounds: &whole})
+		if err != nil {
+			return fmt.Errorf("rank %d: post-release read: %w", c.Rank(), err)
+		}
+		mu.Lock()
+		partial += got.Len()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both ranks queried the whole domain, so together they see 2x total.
+	if partial != 2*total {
+		t.Fatalf("post-release reads returned %d particles, want %d", partial, 2*total)
+	}
+}
+
+// TestReadQueryCtxCanceledBeforeMeta: a context that is already dead when
+// the collective starts fails the whole read (metadata agreement), not
+// just one rank — and does so promptly.
+func TestReadQueryCtxCanceledBeforeMeta(t *testing.T) {
+	leakcheck.Check(t)
+	w, err := workloads.NewUniform(2, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := pfs.NewMem()
+	runWrite(t, w, 0, mem, "step0", DefaultWriteConfig(64*1024))
+
+	whole := geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = fabric.Run(2, func(c *fabric.Comm) error {
+		_, _, err := ReadQueryCtx(ctx, c, mem, "step0", bat.Query{Bounds: &whole})
+		if err == nil {
+			return fmt.Errorf("rank %d: read under dead context succeeded", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -358,7 +359,7 @@ func TestMetadataQueriesAfterWrite(t *testing.T) {
 
 func openMeta(t *testing.T, store pfs.Storage, base string) *meta.Meta {
 	t.Helper()
-	m, err := readMeta(store, MetaFileName(base))
+	m, err := readMeta(context.Background(), store, MetaFileName(base))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -73,6 +74,19 @@ func Read(c *fabric.Comm, store pfs.Storage, base string, bounds geom.Box) (*par
 // error-agreement collective the write pipeline ends with — since query
 // routing needs every rank to share the leaf assignment.
 func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*particles.Set, *ReadStats, error) {
+	return ReadQueryCtx(context.Background(), c, store, base, q)
+}
+
+// ReadQueryCtx is ReadQuery honoring ctx. Cancellation never abandons the
+// collective protocol — every rank still exchanges every message and exits
+// the loop — but leaf serving aborts: a canceled rank answers its remaining
+// leaf queries (its own and other ranks') with error replies instead of
+// data. The requesters record those as per-leaf failures, so a rank whose
+// deadline fires gets the particles already gathered plus an error wrapping
+// ErrPartial, exactly like a damaged-leaf degraded read. A cancellation
+// before the metadata is agreed on fails the whole collective, since query
+// routing needs every rank to share the leaf assignment.
+func ReadQueryCtx(ctx context.Context, c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*particles.Set, *ReadStats, error) {
 	stats := &ReadStats{}
 
 	col := c.Observer()
@@ -82,7 +96,7 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 	// Phase a: every rank reads the aggregation tree metadata.
 	metaStart := time.Now()
 	metaSp := col.Start(c.Rank(), "read.meta")
-	m, err := readMeta(store, MetaFileName(base))
+	m, err := readMeta(ctx, store, MetaFileName(base))
 	metaSp.End()
 	// Agree on the metadata status before any queries are routed: a rank
 	// returning here while others proceed would leave their queries to it
@@ -179,7 +193,7 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 		go func() {
 			defer workers.Done()
 			for j := range jobs {
-				results <- serveLeafJob(col, c.Rank(), store, m, lf, rec, j)
+				results <- serveLeafJob(ctx, col, c.Rank(), store, m, lf, rec, j)
 			}
 		}()
 	}
@@ -286,7 +300,10 @@ func ReadQuery(c *fabric.Comm, store pfs.Storage, base string, q bat.Query) (*pa
 			break
 		}
 		if !progress {
-			time.Sleep(20 * time.Microsecond)
+			// The collective loop must keep polling through cancellation to
+			// finish the protocol, so this brief backoff is deliberately not
+			// interruptible.
+			time.Sleep(20 * time.Microsecond) //batlint:ignore ctxsleep progress backoff inside the collective loop, must survive ctx cancellation
 		}
 	}
 	// Barrier completion implies every rank received every reply, so no
@@ -361,8 +378,8 @@ func parseReply(raw []byte, schema particles.Schema) (int, *particles.Set, error
 }
 
 // readMeta loads and parses the metadata file.
-func readMeta(store pfs.Storage, name string) (m *meta.Meta, err error) {
-	f, err := store.Open(name)
+func readMeta(ctx context.Context, store pfs.Storage, name string) (m *meta.Meta, err error) {
+	f, err := pfs.OpenContext(ctx, store, name)
 	if err != nil {
 		return nil, err
 	}
@@ -374,7 +391,7 @@ func readMeta(store pfs.Storage, name string) (m *meta.Meta, err error) {
 		}
 	}()
 	buf := make([]byte, f.Size())
-	if _, rerr := f.ReadAt(buf, 0); rerr != nil && rerr != io.EOF {
+	if _, rerr := pfs.ReadAtContext(ctx, f, buf, 0); rerr != nil && rerr != io.EOF {
 		return nil, rerr
 	}
 	return meta.Decode(buf)
@@ -403,11 +420,11 @@ type serveResult struct {
 
 // serveLeafJob runs on a pool worker: open/traverse the leaf and package
 // the outcome. It never touches the communicator.
-func serveLeafJob(col *obs.Collector, rank int, store pfs.Storage, m *meta.Meta, lf *leafFiles, rec *access.Recorder, j serveJob) serveResult {
+func serveLeafJob(ctx context.Context, col *obs.Collector, rank int, store pfs.Storage, m *meta.Meta, lf *leafFiles, rec *access.Recorder, j serveJob) serveResult {
 	sp := col.Start(rank, "read.serve")
 	defer sp.End()
 	start := time.Now()
-	sub, opened, err := queryLeaf(store, m, lf, rec, rank, j.leaf, j.q)
+	sub, opened, err := queryLeaf(ctx, store, m, lf, rec, rank, j.leaf, j.q)
 	res := serveResult{source: j.source, leaf: j.leaf, opened: opened, fileRead: time.Since(start)}
 	if j.source < 0 {
 		res.sub, res.err = sub, err
@@ -483,14 +500,20 @@ func (lf *leafFiles) closeAll() {
 
 // queryLeaf answers one query against a leaf file, opening (and caching)
 // it in lf on first use. With a recorder attached, the serve is logged in
-// the recent-query ring and treelet touches are recorded under li.
-func queryLeaf(store pfs.Storage, m *meta.Meta, lf *leafFiles, rec *access.Recorder, rank, li int, q bat.Query) (*particles.Set, bool, error) {
+// the recent-query ring and treelet touches are recorded under li. A ctx
+// that ends before or during the serve yields ctx.Err(), which the caller
+// turns into a per-leaf error reply — open errors (including context
+// errors) are never cached, so a later read retries the leaf cleanly.
+func queryLeaf(ctx context.Context, store pfs.Storage, m *meta.Meta, lf *leafFiles, rec *access.Recorder, rank, li int, q bat.Query) (*particles.Set, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("core: leaf %d abandoned: %w", li, err)
+	}
 	f, opened, err := lf.get(li, func() (*bat.File, error) {
-		handle, err := store.Open(m.Leaves[li].FileName)
+		handle, err := pfs.OpenContext(ctx, store, m.Leaves[li].FileName)
 		if err != nil {
 			return nil, fmt.Errorf("core: opening leaf %d: %w", li, err)
 		}
-		bf, err := bat.Decode(handle, handle.Size())
+		bf, err := bat.DecodeCtx(ctx, handle, handle.Size())
 		if err != nil {
 			if cerr := handle.Close(); cerr != nil {
 				err = errors.Join(err, cerr)
@@ -506,7 +529,7 @@ func queryLeaf(store pfs.Storage, m *meta.Meta, lf *leafFiles, rec *access.Recor
 	}
 	start := time.Now()
 	sub := particles.NewSet(f.Schema, 0)
-	st, qerr := f.QueryWithStats(q, func(p geom.Vec3, attrs []float64) error {
+	st, qerr := f.QueryWithStatsCtx(ctx, q, func(p geom.Vec3, attrs []float64) error {
 		sub.Append(p, attrs)
 		return nil
 	})

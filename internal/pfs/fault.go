@@ -1,14 +1,18 @@
 // Fault injection for pipeline robustness tests: a seeded, concurrency-safe
 // Storage decorator that produces the failure modes a parallel filesystem
 // exhibits under load — transient and permanent operation failures, torn
-// (partially persisted) writes, and silent read corruption.
+// (partially persisted) writes, silent read corruption, seeded per-op
+// latency, and indefinitely stalled operations (the hung-mount case) that
+// unblock only on context cancellation or an explicit release.
 package pfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // ErrInjected is returned (wrapped) by Faulty for every injected fault.
@@ -64,6 +68,18 @@ type FaultConfig struct {
 	// this cap is guaranteed to mask every probabilistic fault, which
 	// keeps seeded chaos tests deterministic.
 	MaxConsecutive int
+
+	// Latency injection: with probability *DelayProb the operation sleeps
+	// a seeded uniform duration in (0, *Delay] before proceeding. Delays
+	// are not faults (the operation still succeeds) and do not count
+	// toward MaxConsecutive; on the context-aware paths the sleep aborts
+	// when the caller's context ends.
+	ReadDelayProb  float64
+	ReadDelay      time.Duration
+	OpenDelayProb  float64
+	OpenDelay      time.Duration
+	WriteDelayProb float64
+	WriteDelay     time.Duration
 }
 
 // Faulty wraps a Storage and injects faults: permanent per-name failures
@@ -86,6 +102,11 @@ type Faulty struct {
 	nextOpens  map[string]int
 	streak     map[string]int // consecutive probabilistic faults per op:name
 	injected   int64
+	delays     int64
+	stalls     int64
+	stallReads map[string]bool
+	stallOpens map[string]bool
+	stallCh    chan struct{} // closed by ReleaseStalls; nil until first Stall*
 }
 
 // NewFaulty wraps store with a seeded fault injector.
@@ -165,15 +186,124 @@ func (f *Faulty) FailOpensPermanently(name string) {
 }
 
 // Injected returns the number of faults injected so far (all kinds,
-// including silent bit flips).
+// including silent bit flips and stalls, excluding latency delays).
 func (f *Faulty) Injected() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.injected
 }
 
-// WriteFile implements Storage.
+// Delays returns the number of latency delays injected so far.
+func (f *Faulty) Delays() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delays
+}
+
+// Stalled returns the number of operations that entered a stall so far
+// (whether they were later released or canceled).
+func (f *Faulty) Stalled() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stalls
+}
+
+// StallReads marks name so every ReadAt of it blocks indefinitely — the
+// hung-mount failure mode. A stalled read unblocks only when the caller's
+// context ends (returning ctx.Err()) or ReleaseStalls is called (the read
+// then proceeds normally). Context-free ReadAt calls on a stalled file
+// block until release.
+func (f *Faulty) StallReads(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stallReads == nil {
+		f.stallReads = make(map[string]bool)
+	}
+	f.stallReads[name] = true
+	f.armStall()
+}
+
+// StallOpens marks name so every Open of it blocks, with the same
+// semantics as StallReads.
+func (f *Faulty) StallOpens(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stallOpens == nil {
+		f.stallOpens = make(map[string]bool)
+	}
+	f.stallOpens[name] = true
+	f.armStall()
+}
+
+// armStall ensures the release channel exists. Callers hold f.mu.
+func (f *Faulty) armStall() {
+	if f.stallCh == nil {
+		f.stallCh = make(chan struct{})
+	}
+}
+
+// ReleaseStalls clears every stall mark and unblocks all currently
+// stalled operations; they proceed against the underlying storage as if
+// the mount recovered.
+func (f *Faulty) ReleaseStalls() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stallReads = nil
+	f.stallOpens = nil
+	if f.stallCh != nil {
+		close(f.stallCh)
+		f.stallCh = nil
+	}
+}
+
+// maybeStall blocks if name is stall-marked for the given op kind,
+// returning ctx.Err() if the context ends first and nil once released.
+func (f *Faulty) maybeStall(ctx context.Context, kind, name string) error {
+	f.mu.Lock()
+	var stalled bool
+	switch kind {
+	case "read":
+		stalled = f.stallReads[name]
+	case "open":
+		stalled = f.stallOpens[name]
+	}
+	ch := f.stallCh
+	if stalled {
+		f.injected++
+		f.stalls++
+	}
+	f.mu.Unlock()
+	if !stalled {
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// maybeDelay rolls the latency injection for one operation and sleeps
+// (interruptibly) if it hits.
+func (f *Faulty) maybeDelay(ctx context.Context, prob float64, max time.Duration) error {
+	f.mu.Lock()
+	var d time.Duration
+	if max > 0 && f.roll(prob) {
+		d = 1 + time.Duration(f.gen().Float64()*float64(max-1))
+		f.delays++
+	}
+	f.mu.Unlock()
+	if d <= 0 {
+		return nil
+	}
+	return SleepContext(ctx, d)
+}
+
+// WriteFile implements Storage. Write delays are bounded sleeps (the
+// write pipeline carries no context), so WriteDelay keeps them finite.
 func (f *Faulty) WriteFile(name string, data []byte) error {
+	f.maybeDelay(context.Background(), f.cfg.WriteDelayProb, f.cfg.WriteDelay)
 	f.mu.Lock()
 	if f.FailWrites[name] {
 		f.injected++
@@ -212,8 +342,21 @@ func (f *Faulty) WriteFile(name string, data []byte) error {
 	return f.Storage.WriteFile(name, data)
 }
 
-// Open implements Storage.
+// Open implements Storage. An open of a stall-marked name blocks until
+// ReleaseStalls; use OpenCtx for a cancelable open.
 func (f *Faulty) Open(name string) (File, error) {
+	return f.OpenCtx(context.Background(), name)
+}
+
+// OpenCtx implements CtxOpener: stalls and injected delays abort with
+// ctx.Err() when ctx ends.
+func (f *Faulty) OpenCtx(ctx context.Context, name string) (File, error) {
+	if err := f.maybeStall(ctx, "open", name); err != nil {
+		return nil, err
+	}
+	if err := f.maybeDelay(ctx, f.cfg.OpenDelayProb, f.cfg.OpenDelay); err != nil {
+		return nil, err
+	}
 	f.mu.Lock()
 	if f.FailOpens[name] {
 		f.injected++
@@ -234,14 +377,13 @@ func (f *Faulty) Open(name string) (File, error) {
 	if fail {
 		return nil, Transient(fmt.Errorf("%w: open %s", ErrInjected, name))
 	}
-	h, err := f.Storage.Open(name)
+	h, err := OpenContext(ctx, f.Storage, name)
 	if err != nil {
 		return nil, err
 	}
-	if f.cfg.ReadFailProb > 0 || f.cfg.BitFlipProb > 0 {
-		return &faultyFile{File: h, f: f, name: name}, nil
-	}
-	return h, nil
+	// Always wrap: read stalls and delays may be configured after the
+	// file is opened (StallReads mid-test is the hung-mount scenario).
+	return &faultyFile{File: h, f: f, name: name}, nil
 }
 
 // faultyFile injects read faults and silent bit flips.
@@ -252,7 +394,20 @@ type faultyFile struct {
 }
 
 func (ff *faultyFile) ReadAt(p []byte, off int64) (int, error) {
+	return ff.ReadAtCtx(context.Background(), p, off)
+}
+
+// ReadAtCtx implements CtxReaderAt: a stalled or delayed read aborts with
+// ctx.Err() when ctx ends, which is what lets a deadline bound a query
+// over a hung mount.
+func (ff *faultyFile) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	f := ff.f
+	if err := f.maybeStall(ctx, "read", ff.name); err != nil {
+		return 0, err
+	}
+	if err := f.maybeDelay(ctx, f.cfg.ReadDelayProb, f.cfg.ReadDelay); err != nil {
+		return 0, err
+	}
 	f.mu.Lock()
 	fail := f.allowFault("read:"+ff.name, f.roll(f.cfg.ReadFailProb))
 	flip := !fail && f.roll(f.cfg.BitFlipProb)
@@ -269,7 +424,7 @@ func (ff *faultyFile) ReadAt(p []byte, off int64) (int, error) {
 	if fail {
 		return 0, Transient(fmt.Errorf("%w: read %s at %d", ErrInjected, ff.name, off))
 	}
-	n, err := ff.File.ReadAt(p, off)
+	n, err := ReadAtContext(ctx, ff.File, p, off)
 	if flip && n > flipAt {
 		p[flipAt] ^= 1 << flipBit
 	}

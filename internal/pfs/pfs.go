@@ -6,6 +6,7 @@
 package pfs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -293,7 +294,13 @@ func (o *observed) WriteFile(name string, data []byte) error {
 }
 
 func (o *observed) Open(name string) (File, error) {
-	f, err := o.Storage.Open(name)
+	return o.OpenCtx(context.Background(), name)
+}
+
+// OpenCtx implements CtxOpener, so observing a ctx-aware storage does not
+// hide its cancellation support from callers.
+func (o *observed) OpenCtx(ctx context.Context, name string) (File, error) {
+	f, err := OpenContext(ctx, o.Storage, name)
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +319,12 @@ type observedFile struct {
 }
 
 func (f *observedFile) ReadAt(p []byte, off int64) (int, error) {
-	n, err := f.File.ReadAt(p, off)
+	return f.ReadAtCtx(context.Background(), p, off)
+}
+
+// ReadAtCtx implements CtxReaderAt by forwarding to the wrapped file.
+func (f *observedFile) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	n, err := ReadAtContext(ctx, f.File, p, off)
 	f.calls.Add(1)
 	f.bytes.Add(int64(n))
 	return n, err

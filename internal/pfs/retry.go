@@ -1,6 +1,7 @@
 package pfs
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -81,15 +82,29 @@ func (r *Retry) delay(attempt int) time.Duration {
 	return d - time.Duration(float64(d)*r.cfg.Jitter*f)
 }
 
-// do runs op under the retry policy.
+// do runs op under the retry policy with no cancellation point.
 func (r *Retry) do(op func() error) error {
+	return r.doCtx(context.Background(), op)
+}
+
+// doCtx runs op under the retry policy. Backoff sleeps are interruptible:
+// when ctx ends mid-backoff the wait aborts immediately and ctx.Err() is
+// returned. Context errors from op itself are never retried — the caller
+// asked to stop, so backing off and trying again would just delay the
+// unwind.
+func (r *Retry) doCtx(ctx context.Context, op func() error) error {
 	var err error
 	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(r.delay(attempt - 1))
+			if serr := SleepContext(ctx, r.delay(attempt-1)); serr != nil {
+				return serr
+			}
 			r.retries.Add(1)
 		}
 		if err = op(); err == nil || !r.cfg.Retryable(err) {
+			return err
+		}
+		if IsContextErr(err) || ctx.Err() != nil {
 			return err
 		}
 	}
@@ -104,10 +119,16 @@ func (r *Retry) WriteFile(name string, data []byte) error {
 // Open implements Storage with retries; the returned file retries
 // transient ReadAt failures under the same policy.
 func (r *Retry) Open(name string) (File, error) {
+	return r.OpenCtx(context.Background(), name)
+}
+
+// OpenCtx implements CtxOpener: the open and its backoff sleeps abort
+// when ctx ends.
+func (r *Retry) OpenCtx(ctx context.Context, name string) (File, error) {
 	var f File
-	err := r.do(func() error {
+	err := r.doCtx(ctx, func() error {
 		var err error
-		f, err = r.Storage.Open(name)
+		f, err = OpenContext(ctx, r.Storage, name)
 		return err
 	})
 	if err != nil {
@@ -122,10 +143,15 @@ type retryFile struct {
 }
 
 func (f *retryFile) ReadAt(p []byte, off int64) (int, error) {
+	return f.ReadAtCtx(context.Background(), p, off)
+}
+
+// ReadAtCtx implements CtxReaderAt with the same retry policy.
+func (f *retryFile) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	var n int
-	err := f.r.do(func() error {
+	err := f.r.doCtx(ctx, func() error {
 		var err error
-		n, err = f.File.ReadAt(p, off)
+		n, err = ReadAtContext(ctx, f.File, p, off)
 		return err
 	})
 	return n, err

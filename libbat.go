@@ -20,6 +20,7 @@
 package libbat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -186,6 +187,19 @@ func Read(c *Comm, store Storage, base string, bounds Box) (*ParticleSet, *ReadS
 func ReadQuery(c *Comm, store Storage, base string, q Query) (*ParticleSet, *ReadStats, error) {
 	return core.ReadQuery(c, store, base, q)
 }
+
+// ReadQueryCtx is ReadQuery honoring ctx. Cancellation never abandons the
+// collective protocol (the other ranks would hang); instead this rank's
+// leaf serves fail fast with the context's error and the call returns
+// ErrPartial with per-leaf errors once the collective completes.
+func ReadQueryCtx(ctx context.Context, c *Comm, store Storage, base string, q Query) (*ParticleSet, *ReadStats, error) {
+	return core.ReadQueryCtx(ctx, c, store, base, q)
+}
+
+// ErrPartial marks a collective read that completed the protocol but could
+// not serve every requested leaf (fault or cancellation); the returned set
+// holds the particles that were served.
+var ErrPartial = core.ErrPartial
 
 // RecommendTargetSize implements the paper's tuning guidance (§VI-A.2) as
 // an automatic policy, a future-work item of §VII-A: small aggregation
@@ -448,20 +462,38 @@ func (d *Dataset) AttrRange(attr int) (min, max float64, err error) {
 
 // leaf opens (and caches) leaf file li. Concurrent callers for the same
 // unopened leaf block on one open; open errors are not cached, so the next
-// caller retries.
-func (d *Dataset) leaf(li int) (*bat.File, error) {
-	d.mu.Lock()
-	if s, ok := d.files[li]; ok {
+// caller retries. The singleflight carries the same detach semantics as
+// the treelet cache: a canceled waiter returns ctx.Err() without touching
+// the shared slot, and a waiter whose own ctx is live retries after the
+// opening goroutine died of its caller's cancellation.
+func (d *Dataset) leaf(ctx context.Context, li int) (*bat.File, error) {
+	var s *leafSlot
+	for {
+		d.mu.Lock()
+		var ok bool
+		if s, ok = d.files[li]; !ok {
+			break
+		}
 		d.mu.Unlock()
-		<-s.ready
-		return s.f, s.err
+		select {
+		case <-s.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err() // detach; the open continues without us
+		}
+		if s.err == nil {
+			return s.f, nil
+		}
+		if pfs.IsContextErr(s.err) && ctx.Err() == nil {
+			continue // the opener was canceled, we were not: retry
+		}
+		return nil, s.err
 	}
-	s := &leafSlot{ready: make(chan struct{})}
+	s = &leafSlot{ready: make(chan struct{})}
 	d.files[li] = s
 	cfg, per, col, labels, rec := d.qcfg, d.perLeafLimitLocked(), d.col, d.obsLabels, d.accessRec
 	d.mu.Unlock()
 
-	s.f, s.err = d.openLeaf(li, cfg, per, col, labels, rec)
+	s.f, s.err = d.openLeaf(ctx, li, cfg, per, col, labels, rec)
 	if s.err != nil {
 		d.mu.Lock()
 		if d.files[li] == s {
@@ -473,12 +505,12 @@ func (d *Dataset) leaf(li int) (*bat.File, error) {
 	return s.f, s.err
 }
 
-func (d *Dataset) openLeaf(li int, cfg QueryConfig, cacheLimit int64, col *obs.Collector, labels []obs.Label, rec *access.Recorder) (*bat.File, error) {
-	h, err := d.store.Open(d.meta.Leaves[li].FileName)
+func (d *Dataset) openLeaf(ctx context.Context, li int, cfg QueryConfig, cacheLimit int64, col *obs.Collector, labels []obs.Label, rec *access.Recorder) (*bat.File, error) {
+	h, err := pfs.OpenContext(ctx, d.store, d.meta.Leaves[li].FileName)
 	if err != nil {
 		return nil, err
 	}
-	f, err := bat.Decode(h, h.Size())
+	f, err := bat.DecodeCtx(ctx, h, h.Size())
 	if err != nil {
 		h.Close()
 		return nil, err
@@ -500,13 +532,26 @@ func (d *Dataset) openLeaf(li int, cfg QueryConfig, cacheLimit int64, col *obs.C
 // before each surviving file's BAT is traversed. Progressive quality
 // windows apply per leaf file.
 func (d *Dataset) Query(q Query, visit Visitor) error {
-	return d.QueryTagged("dataset", q, visit)
+	return d.QueryTaggedCtx(context.Background(), "dataset", q, visit)
+}
+
+// QueryCtx is Query honoring ctx: when ctx ends, leaf opens and treelet
+// traversals abort promptly and ctx.Err() is returned. Leaf files and
+// treelets already cached stay valid for later queries.
+func (d *Dataset) QueryCtx(ctx context.Context, q Query, visit Visitor) error {
+	return d.QueryTaggedCtx(ctx, "dataset", q, visit)
 }
 
 // QueryTagged is Query with an explicit source tag for the access-telemetry
 // recent-query log (e.g. "batserve:/points"); with no recorder attached it
 // is exactly Query.
 func (d *Dataset) QueryTagged(source string, q Query, visit Visitor) error {
+	return d.QueryTaggedCtx(context.Background(), source, q, visit)
+}
+
+// QueryTaggedCtx is QueryTagged honoring ctx, the full-featured form the
+// other Query variants delegate to.
+func (d *Dataset) QueryTaggedCtx(ctx context.Context, source string, q Query, visit Visitor) error {
 	d.mu.Lock()
 	rec, workers := d.accessRec, d.qcfg.Workers
 	d.mu.Unlock()
@@ -519,11 +564,11 @@ func (d *Dataset) QueryTagged(source string, q Query, visit Visitor) error {
 
 	if rec == nil {
 		for _, li := range selected {
-			f, err := d.leaf(li)
+			f, err := d.leaf(ctx, li)
 			if err != nil {
 				return err
 			}
-			if err := f.Query(q, visit); err != nil {
+			if err := f.QueryCtx(ctx, q, visit); err != nil {
 				return err
 			}
 		}
@@ -535,12 +580,12 @@ func (d *Dataset) QueryTagged(source string, q Query, visit Visitor) error {
 	var total QueryStats
 	var qerr error
 	for _, li := range selected {
-		f, err := d.leaf(li)
+		f, err := d.leaf(ctx, li)
 		if err != nil {
 			qerr = err
 			break
 		}
-		st, err := f.QueryWithStats(q, visit)
+		st, err := f.QueryWithStatsCtx(ctx, q, visit)
 		total.Visited += st.Visited
 		total.FalsePositives += st.FalsePositives
 		total.PrunedSubtrees += st.PrunedSubtrees
@@ -586,8 +631,13 @@ func (d *Dataset) QueryTagged(source string, q Query, visit Visitor) error {
 
 // Count returns the number of particles a query would visit.
 func (d *Dataset) Count(q Query) (int64, error) {
+	return d.CountCtx(context.Background(), q)
+}
+
+// CountCtx is Count honoring ctx.
+func (d *Dataset) CountCtx(ctx context.Context, q Query) (int64, error) {
 	var n int64
-	err := d.Query(q, func(Vec3, []float64) error {
+	err := d.QueryCtx(ctx, q, func(Vec3, []float64) error {
 		n++
 		return nil
 	})

@@ -27,7 +27,8 @@ run() {
 
 # The repo's own static-analysis suite: format endianness, unchecked
 # narrowing of decoded integers, build-pipeline determinism, dropped
-# fabric/pfs errors, unpaired obs spans. Zero unwaived findings is the bar.
+# fabric/pfs errors, unpaired obs spans, uncancellable bare time.Sleep.
+# Zero unwaived findings is the bar.
 run "batlint ./..." go run ./cmd/batlint ./...
 
 run "go vet ./..." go vet ./...
@@ -53,6 +54,17 @@ run "go test -race TestBuildDeterminism" env GOMAXPROCS=4 go test -race -run 'Te
 run "go test -race query engine" env GOMAXPROCS=4 go test -race -run 'TestConcurrent|TestParallel|TestOrdered|TestCache|TestFileCache|TestReadahead|TestCloseWaits|TestFileLevel' ./internal/bat/
 run "go test -race batserve" env GOMAXPROCS=4 go test -race ./cmd/batserve/
 run "go test -race Dataset" env GOMAXPROCS=4 go test -race -run 'TestDataset' .
+
+# Chaos-latency: the cancellation/deadline suites across every read-path
+# layer under combined error+latency injection — cancel storms against the
+# traversal engine, singleflight detach, stalled-mount 504s, batserve
+# kill/restart cycles. The short -timeout means a wedged goroutine fails
+# the stage with a full goroutine dump (go test's panic output; leak
+# failures print their own dump via internal/leakcheck) instead of hanging
+# the script.
+run "go test -race chaos-latency" env GOMAXPROCS=4 go test -race -timeout 120s \
+	-run 'TestChaos|TestCancel|TestReadQueryCtx|TestDatasetQueryCtx|TestAdmission' \
+	./internal/bat/ ./internal/core/ ./cmd/batserve/ .
 
 # Bench smoke: one iteration of every BAT build benchmark, just to keep the
 # benchmark code compiling and runnable (no timing assertions).
