@@ -85,6 +85,9 @@ func main() {
 		readBench = flag.Bool("readbench", false, "run the query-path benchmark and emit a JSON report")
 		readOut   = flag.String("readbench-out", "BENCH_read.json", "output path for the -readbench report")
 		readScale = flag.Int("read-particles", 400_000, "particles for the -readbench corpus")
+		compBench = flag.Bool("compressbench", false, "run the v3 codec benchmark and emit a JSON report")
+		compOut   = flag.String("compressbench-out", "BENCH_compress.json", "output path for the -compressbench report")
+		compScale = flag.Int("compress-particles", 400_000, "particles for the -compressbench corpus")
 		printMax  = flag.Bool("print-gomaxprocs", false, "print effective GOMAXPROCS and exit (scripts/bench.sh)")
 	)
 	flag.Parse()
@@ -107,13 +110,19 @@ func main() {
 		bench.Observer = col
 		mmapio.SetCollector(col)
 	}
-	if !*all && *fig == 0 && *table == 0 && !*fileStats && !*overhead && !*ablate && !*ext && !*measured && !*readBench {
+	if !*all && *fig == 0 && *table == 0 && !*fileStats && !*overhead && !*ablate && !*ext && !*measured && !*readBench && !*compBench {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	if *readBench {
 		if err := runReadBench(*readScale, *readOut); err != nil {
+			fmt.Fprintln(os.Stderr, "batbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *compBench {
+		if err := runCompressBench(*compScale, *compOut); err != nil {
 			fmt.Fprintln(os.Stderr, "batbench:", err)
 			os.Exit(1)
 		}

@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"libbat/internal/bat"
 	"libbat/internal/core"
@@ -25,11 +28,11 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "bat-out", "dataset directory")
-		name   = flag.String("name", "", "dataset base name (required)")
-		leaf   = flag.Int("leaf", -1, "inspect one leaf BAT file")
-		tree   = flag.Bool("tree", false, "print the aggregation tree hierarchy")
-		verify = flag.Bool("verify", false, "verify all checksums in the dataset; exit non-zero on corruption")
+		in      = flag.String("in", "bat-out", "dataset directory")
+		name    = flag.String("name", "", "dataset base name (required)")
+		leaf    = flag.Int("leaf", -1, "inspect one leaf BAT file")
+		tree    = flag.Bool("tree", false, "print the aggregation tree hierarchy")
+		verify  = flag.Bool("verify", false, "verify all checksums in the dataset; exit non-zero on corruption")
 		accessF = flag.Bool("access", false, "print the dataset's access-telemetry sidecar (batserve -access-persist / batread -access-out)")
 	)
 	flag.Parse()
@@ -91,7 +94,18 @@ func main() {
 	fmt.Printf("  attributes:\n")
 	for a, d := range m.Schema.Attrs {
 		r := m.GlobalRanges[a]
-		fmt.Printf("    %-12s %-8s global range [%g, %g]\n", d.Name, d.Type, r.Min, r.Max)
+		line := fmt.Sprintf("    %-12s %-8s global range [%g, %g]", d.Name, d.Type, r.Min, r.Max)
+		if c := m.Compression; c != nil && a < len(c.ErrorBounds) {
+			if b := c.ErrorBounds[a]; b > 0 {
+				line += fmt.Sprintf("  error bound %g", b)
+			} else {
+				line += "  lossless"
+			}
+		}
+		fmt.Println(line)
+	}
+	if c := m.Compression; c != nil {
+		fmt.Printf("  compression: enabled (LOD error scale %g)\n", c.LODScale)
 	}
 	fmt.Printf("  leaves:\n")
 	for i, l := range m.Leaves {
@@ -142,6 +156,9 @@ func verifyDataset(w io.Writer, store pfs.Storage, name string, metaBuf []byte) 
 			bad(lm.FileName, err)
 		} else if int64(f.NumParticles) != lm.Count {
 			bad(lm.FileName, fmt.Errorf("holds %d particles, metadata says %d", f.NumParticles, lm.Count))
+		} else if ci := f.Compression(); ci != nil {
+			fmt.Fprintf(w, "ok    %-28s %d treelets, %d particles, v3 ratio %.2fx\n",
+				lm.FileName, f.NumTreelets(), f.NumParticles, ci.Ratio())
 		} else {
 			fmt.Fprintf(w, "ok    %-28s %d treelets, %d particles\n",
 				lm.FileName, f.NumTreelets(), f.NumParticles)
@@ -205,7 +222,63 @@ func inspectLeaf(store pfs.Storage, lm meta.LeafMeta, fail func(error)) {
 	for a, d := range f.Schema.Attrs {
 		fmt.Printf("    %-12s [%g, %g]\n", d.Name, f.Ranges[a].Min, f.Ranges[a].Max)
 	}
+	if ci := f.Compression(); ci != nil {
+		printCompression(f, ci, fail)
+	}
 	if err := fh.Close(); err != nil {
 		fail(err)
 	}
+}
+
+// printCompression reports a v3 file's codec layer: the declared per-
+// attribute configuration, each attribute's section-level codec usage and
+// byte totals (aggregated over every treelet), and the whole-file ratio.
+func printCompression(f *bat.File, ci *bat.CompressionInfo, fail func(error)) {
+	fmt.Printf("  compression (v3): LOD error scale %g\n", ci.LODScale)
+	nA := f.Schema.NumAttrs()
+	type attrAgg struct {
+		raw, enc int64
+		byCodec  map[string]int
+	}
+	aggs := make([]attrAgg, nA)
+	for a := range aggs {
+		aggs[a].byCodec = make(map[string]int)
+	}
+	for ti := 0; ti < f.NumTreelets(); ti++ {
+		secs, err := f.TreeletSections(context.Background(), ti)
+		if err != nil {
+			fail(err)
+		}
+		for a, sec := range secs {
+			aggs[a].raw += int64(sec.RawBytes)
+			aggs[a].enc += int64(sec.EncBytes)
+			aggs[a].byCodec[bat.CodecName(sec.Codec)]++
+		}
+	}
+	fmt.Printf("    %-12s %-10s %-10s %12s %12s %7s  sections\n",
+		"attribute", "codec", "bound", "raw bytes", "enc bytes", "ratio")
+	for a, d := range f.Schema.Attrs {
+		bound := "lossless"
+		if ci.Bounds[a] > 0 {
+			bound = fmt.Sprintf("%.3g", ci.Bounds[a])
+		}
+		ratio := 0.0
+		if aggs[a].enc > 0 {
+			ratio = float64(aggs[a].raw) / float64(aggs[a].enc)
+		}
+		codecs := make([]string, 0, len(aggs[a].byCodec))
+		for name := range aggs[a].byCodec {
+			codecs = append(codecs, name)
+		}
+		sort.Strings(codecs)
+		parts := make([]string, len(codecs))
+		for i, name := range codecs {
+			parts[i] = fmt.Sprintf("%s x%d", name, aggs[a].byCodec[name])
+		}
+		fmt.Printf("    %-12s %-10s %-10s %12d %12d %6.2fx  %s\n",
+			d.Name, bat.CodecName(ci.Codecs[a]), bound,
+			aggs[a].raw, aggs[a].enc, ratio, strings.Join(parts, ", "))
+	}
+	fmt.Printf("    whole-file attribute payload: %d -> %d bytes (%.2fx)\n",
+		ci.RawPayloadBytes, ci.EncPayloadBytes, ci.Ratio())
 }

@@ -55,6 +55,9 @@ func main() {
 		statsOut  = flag.String("stats", "", "write telemetry counters/histograms/spans as JSON to this file")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 		buildWkrs = flag.Int("build-workers", 0, "BAT build worker goroutines per aggregator (0 = GOMAXPROCS)")
+		compress  = flag.Bool("compress", false, "write BAT v3 files with per-attribute compressed treelet sections")
+		errBound  = flag.String("error-bound", "0", "absolute error bound for -compress: one value for every attribute, or a comma-separated per-attribute list (0 = lossless)")
+		lodScale  = flag.Float64("lod-error-scale", 1, "multiply the error bound for values referenced by LOD samples (>= 1)")
 	)
 	flag.Parse()
 
@@ -84,6 +87,22 @@ func main() {
 		fail(fmt.Errorf("-build-workers must be >= 0, got %d", *buildWkrs))
 	}
 	cfg.BAT.Workers = *buildWkrs
+	if *compress {
+		cfg.BAT.Compress = true
+		cfg.BAT.LODErrorScale = *lodScale
+		bounds, err := cliutil.ParseBounds(*errBound)
+		if err != nil {
+			fail(err)
+		}
+		if len(bounds) == 1 {
+			cfg.BAT.ErrorBound = bounds[0]
+		} else {
+			if got, want := len(bounds), w.Schema().NumAttrs(); got != want {
+				fail(fmt.Errorf("-error-bound lists %d bounds, workload has %d attributes", got, want))
+			}
+			cfg.BAT.AttrErrorBounds = bounds
+		}
+	}
 	name := *base
 	if name == "" {
 		name = fmt.Sprintf("%s-%04d", w.Name(), *step)

@@ -20,6 +20,15 @@ type buildArena struct {
 	sel    []float64 // quickselect scratch (mutated by the selection)
 	parts  []int     // stable three-way partition staging
 	lod    []int     // stratified-sample staging (LODPerNode picks)
+
+	// Codec scratch (v3 compressed builds): type-rounded reference
+	// values, grid indices, and the per-index LOD classification. Like
+	// the buffers above, these grow to the largest treelet seen and are
+	// reused; encoded payloads are allocated exactly (they outlive the
+	// arena).
+	refVals []float64
+	qbuf    []uint64
+	lodBuf  []bool
 }
 
 // ensure grows the arena to hold a treelet of n particles sampling k LOD

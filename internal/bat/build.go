@@ -23,6 +23,7 @@ package bat
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -69,6 +70,27 @@ type BuildConfig struct {
 	// work (§VII-A). The quantization error is bounded by the treelet
 	// extent divided by 65536 per axis.
 	QuantizePositions bool
+	// Compress enables the version-3 per-attribute codec layer: each
+	// treelet's attribute columns are stored through an error-bounded
+	// codec (see codec.go) instead of raw float arrays. Uncompressed
+	// builds keep writing byte-identical version-2 files.
+	Compress bool
+	// ErrorBound is the absolute error bound applied to every attribute
+	// when Compress is set. 0 (the default) means lossless: columns are
+	// stored raw or, when integral-valued, delta+varint coded. The bound
+	// is measured against the value the attribute's schema type stores
+	// (Float32 attributes round through float32 either way).
+	ErrorBound float64
+	// AttrErrorBounds overrides ErrorBound per attribute (indexed like
+	// the schema). Nil applies ErrorBound uniformly; when set, its length
+	// must equal the schema's attribute count.
+	AttrErrorBounds []float64
+	// LODErrorScale loosens the bound for values inside inner-node LOD
+	// sample ranges: those values may err up to bound × LODErrorScale,
+	// exploiting the multiresolution layout (progressive previews
+	// tolerate coarser data than leaf-level reads). 0 or 1 keeps one
+	// bound everywhere; values in (0, 1) are rejected.
+	LODErrorScale float64
 	// Obs, when set, receives build telemetry (treelet counts, dictionary
 	// size, bitmap dedup hits, and the bat_build_* phase spans). Nil
 	// disables it.
@@ -104,7 +126,41 @@ func (c BuildConfig) validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("bat: workers must be >= 0 (0 = GOMAXPROCS), got %d", c.Workers)
 	}
+	if c.ErrorBound < 0 || math.IsNaN(c.ErrorBound) || math.IsInf(c.ErrorBound, 0) {
+		return fmt.Errorf("bat: error bound must be finite and >= 0, got %g", c.ErrorBound)
+	}
+	for a, b := range c.AttrErrorBounds {
+		if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("bat: attribute %d error bound must be finite and >= 0, got %g", a, b)
+		}
+	}
+	if s := c.LODErrorScale; s != 0 && (s < 1 || math.IsNaN(s) || math.IsInf(s, 0)) {
+		return fmt.Errorf("bat: LOD error scale must be 0 or >= 1, got %g", s)
+	}
 	return nil
+}
+
+// AttrBounds resolves the per-attribute error bounds for a schema of nA
+// attributes: AttrErrorBounds verbatim when set, ErrorBound uniformly
+// otherwise. Meaningful only when Compress is set.
+func (c BuildConfig) AttrBounds(nA int) []float64 {
+	out := make([]float64, nA)
+	for a := range out {
+		if c.AttrErrorBounds != nil {
+			out[a] = c.AttrErrorBounds[a]
+		} else {
+			out[a] = c.ErrorBound
+		}
+	}
+	return out
+}
+
+// EffectiveLODScale resolves LODErrorScale's 0-means-1 default.
+func (c BuildConfig) EffectiveLODScale() float64 {
+	if c.LODErrorScale <= 0 {
+		return 1
+	}
+	return c.LODErrorScale
 }
 
 // effectiveWorkers resolves the worker-pool size: 1 when the build is
@@ -143,6 +199,11 @@ type treelet struct {
 	order  []int // particle indices (into the set) in file layout order
 	depth  int   // max node depth, root = 0
 	prefix morton.Code
+	// attrEnc holds the compressed attribute sections (one per attribute)
+	// for v3 builds; nil when the build is uncompressed. Filled by the
+	// same fused worker that built the treelet, so encoding overlaps
+	// across treelets exactly like node construction does.
+	attrEnc []encodedAttr
 }
 
 // builtShallowNode is an in-memory shallow tree inner node.
@@ -176,6 +237,12 @@ type BuildStats struct {
 	FileBytes       int64
 	RawDataBytes    int64
 	PaddingBytes    int64
+	// AttrPayloadRawBytes / AttrPayloadEncBytes are the attribute payload
+	// sizes before and after the v3 codec layer (codec.go); equal — and
+	// excluding the 5-byte per-section codec framing — for uncompressed
+	// builds. The ratio raw/enc is the attribute compression ratio.
+	AttrPayloadRawBytes int64
+	AttrPayloadEncBytes int64
 }
 
 // OverheadFraction returns the layout's storage overhead relative to the
@@ -203,6 +270,10 @@ type group struct {
 func Build(set *particles.Set, domain geom.Box, cfg BuildConfig) (*Built, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.AttrErrorBounds != nil && len(cfg.AttrErrorBounds) != set.Schema.NumAttrs() {
+		return nil, fmt.Errorf("bat: %d per-attribute error bounds for %d attributes",
+			len(cfg.AttrErrorBounds), set.Schema.NumAttrs())
 	}
 	n := set.Len()
 	workers := cfg.effectiveWorkers()
@@ -314,11 +385,19 @@ func buildTreelets(set *particles.Set, order []int, groups []group,
 	cfg BuildConfig, ranges []bitmap.Range, workers int) []*treelet {
 
 	treelets := make([]*treelet, len(groups))
+	var bounds []float64
+	lodScale := cfg.EffectiveLODScale()
+	if cfg.Compress {
+		bounds = cfg.AttrBounds(set.Schema.NumAttrs())
+	}
 	task := func(gi int, a *buildArena) {
 		g := groups[gi]
 		t := buildTreelet(set, order[g.from:g.to], cfg, a)
 		t.prefix = g.code
 		computeTreeletBitmaps(set, t, ranges)
+		if cfg.Compress {
+			encodeTreeletAttrs(set, t, bounds, lodScale, a)
+		}
 		treelets[gi] = t
 	}
 	if workers <= 1 || len(groups) <= 1 {

@@ -1,0 +1,164 @@
+package bat
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"libbat/internal/geom"
+	"libbat/internal/particles"
+)
+
+// goldenSet is the fixed dataset the checked-in golden files were built
+// from. It must never change: the goldens pin the on-disk v1/v2 layouts,
+// and this set is the decode oracle they are compared against.
+func goldenSet() (*particles.Set, geom.Box) {
+	s := particles.NewSet(particles.NewSchema("mass", "id"), 257)
+	// A deterministic low-discrepancy-ish scatter plus a coincident clump,
+	// no RNG involved (RNG streams are not pinned across Go releases).
+	for i := 0; i < 250; i++ {
+		x := float64(i%10) / 10
+		y := float64((i/10)%10) / 10
+		z := float64(i%7) / 7
+		s.Append(geom.V3(x, y, z), []float64{x*10 + y, float64(i)})
+	}
+	for i := 250; i < 257; i++ {
+		s.Append(geom.V3(0.5, 0.5, 0.5), []float64{3.25, float64(i)})
+	}
+	return s, geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1))
+}
+
+func goldenConfig() BuildConfig {
+	cfg := DefaultBuildConfig()
+	cfg.MaxLeafSize = 32
+	cfg.LODPerNode = 4
+	return cfg
+}
+
+// goldenRow is one particle as a comparable value (positions as the f32
+// bits the layout stores).
+type goldenRow struct {
+	x, y, z  float32
+	mass, id float64
+}
+
+func goldenRows(s *particles.Set) []goldenRow {
+	rows := make([]goldenRow, s.Len())
+	for i := range rows {
+		p := s.Position(i)
+		rows[i] = goldenRow{float32(p.X), float32(p.Y), float32(p.Z), s.Attrs[0][i], s.Attrs[1][i]}
+	}
+	sortRows(rows)
+	return rows
+}
+
+func sortRows(rows []goldenRow) {
+	sort.Slice(rows, func(a, b int) bool { return rows[a].id < rows[b].id })
+}
+
+func readRows(t *testing.T, f *File) []goldenRow {
+	t.Helper()
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]goldenRow, got.Len())
+	for i := range rows {
+		p := got.Position(i)
+		rows[i] = goldenRow{float32(p.X), float32(p.Y), float32(p.Z), got.Attrs[0][i], got.Attrs[1][i]}
+	}
+	sortRows(rows)
+	return rows
+}
+
+// TestGoldenRegenerate rewrites the checked-in golden files from the
+// current builder. Run manually with BAT_REGEN_GOLDEN=1 when the format
+// legitimately changes (which for v1/v2 should be never).
+func TestGoldenRegenerate(t *testing.T) {
+	if os.Getenv("BAT_REGEN_GOLDEN") == "" {
+		t.Skip("set BAT_REGEN_GOLDEN=1 to rewrite testdata golden files")
+	}
+	s, domain := goldenSet()
+	b, err := Build(s, domain, goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("testdata", "golden_v2.bat"), b.Buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The v1 golden is the v2 image with the footer removed and the
+	// version field patched, exactly the layout version-1 writers
+	// produced.
+	if err := os.WriteFile(filepath.Join("testdata", "golden_v1.bat"), stripToV1(t, b.Buf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenBackwardCompat opens the checked-in version-1 and version-2
+// files and requires them to decode to the same particle multiset as the
+// day they were written — the backward-compatibility contract the v3
+// format changes must not disturb.
+func TestGoldenBackwardCompat(t *testing.T) {
+	s, _ := goldenSet()
+	want := goldenRows(s)
+	for _, tc := range []struct {
+		file    string
+		version int
+	}{
+		{"golden_v1.bat", 1},
+		{"golden_v2.bat", 2},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			buf, err := os.ReadFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatalf("%v (regenerate with BAT_REGEN_GOLDEN=1 go test -run TestGoldenRegenerate)", err)
+			}
+			f, err := FromBuffer(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Version != tc.version {
+				t.Fatalf("Version = %d, want %d", f.Version, tc.version)
+			}
+			if err := f.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			got := readRows(t, f)
+			if len(got) != len(want) {
+				t.Fatalf("decoded %d particles, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("row %d: %+v != %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenV2ByteIdentity rebuilds the golden dataset with the current
+// builder and requires the image to be byte-identical to the checked-in v2
+// file: uncompressed builds must keep producing exactly the v2 bytes.
+func TestGoldenV2ByteIdentity(t *testing.T) {
+	buf, err := os.ReadFile(filepath.Join("testdata", "golden_v2.bat"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with BAT_REGEN_GOLDEN=1 go test -run TestGoldenRegenerate)", err)
+	}
+	s, domain := goldenSet()
+	b, err := Build(s, domain, goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Buf) != len(buf) {
+		t.Fatalf("rebuilt image is %d bytes, golden %d", len(b.Buf), len(buf))
+	}
+	for i := range buf {
+		if b.Buf[i] != buf[i] {
+			t.Fatalf("rebuilt image differs from golden at byte %d", i)
+		}
+	}
+}

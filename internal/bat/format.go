@@ -23,12 +23,21 @@
 //	         start u32, count u32, bitmapID u16 per attribute
 //	  particle data: X, Y, Z as f32 arrays (or u16 fixed point relative
 //	                 to the treelet bounds when flagQuantized is set),
-//	                 then one array per attribute (f64 or f32 per its
-//	                 schema type)
+//	                 then one array per attribute. In version <= 2 each
+//	                 attribute is a raw f64 or f32 column (per its schema
+//	                 type); in version 3 each attribute is a framed codec
+//	                 section: codec u8, encLen u32, then encLen payload
+//	                 bytes (see codec.go for the codec streams)
 //	Checksum footer (version >= 2), after the last treelet:
 //	  headerCRC u32        CRC32C of the header bytes
 //	  numTreelets u32
 //	  treeletCRC u32 each  CRC32C of each treelet's byteLen bytes
+//	  version 3 only:
+//	    numAttrs u32
+//	    per attribute: declared codec u8, absolute error bound f64
+//	    lodErrorScale f64
+//	    rawPayloadBytes u64  attribute payload before encoding
+//	    encPayloadBytes u64  attribute payload after encoding
 //	  footerCRC u32        CRC32C of the footer bytes above
 //	  footerLen u32        total footer length, trailing magic included
 //	  magic "BATF"
@@ -55,13 +64,17 @@ import (
 
 const (
 	magic = "BAT1"
-	// version is the format written; minVersion..version are readable.
-	// Version 2 added the CRC32C checksum footer.
-	version    = 2
+	// version is the newest readable format; minVersion..version are
+	// readable. Version 2 added the CRC32C checksum footer; version 3
+	// added per-attribute compressed treelet sections (codec.go) and the
+	// footer's codec declarations. Version 3 is written only when
+	// BuildConfig.Compress is set — uncompressed builds keep producing
+	// byte-identical version-2 files.
+	version    = 3
 	minVersion = 1
-	// footerMagic terminates the version-2 checksum footer.
+	// footerMagic terminates the version >= 2 checksum footer.
 	footerMagic = "BATF"
-	// footerFixedLen is the footer size excluding the per-treelet CRCs.
+	// footerFixedLen is the v2 footer size excluding the per-treelet CRCs.
 	footerFixedLen = 4 + 4 + 4 + 4 + 4
 	// PageSize is the alignment of treelets in the file (§III-C3).
 	PageSize = 4096
@@ -124,6 +137,12 @@ const shallowInnerBytes = 1 + 8 + 4 + 4
 // shallowLeafBytes is the per-shallow-leaf record size excluding IDs:
 // offset, byteLen, node/point counts, and the treelet bounds.
 const shallowLeafBytes = 8 + 4 + 4 + 4 + 48
+
+// footerV3ExtraLen is the size of the version-3 footer extension for nA
+// attributes, inserted between the per-treelet CRCs and the footer CRC:
+// numAttrs u32; per attribute codec u8 + error bound f64; LOD error scale
+// f64; raw and encoded attribute payload byte totals u64 each.
+func footerV3ExtraLen(nA int) int { return 4 + nA*(1+8) + 8 + 8 + 8 }
 
 // compact assembles the file image: header + shallow tree + dictionary up
 // front, then page-aligned treelets (paper §III-C3). Bitmaps are interned
@@ -197,15 +216,20 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 		posBytes = 6
 		flags |= flagQuantized
 	}
-	bppFile := posBytes
-	for _, a := range set.Schema.Attrs {
-		bppFile += a.Type.Size()
+
+	// The file version is chosen per build: compressed builds write the
+	// version-3 section framing; uncompressed builds stay byte-identical
+	// version-2 files.
+	fileVer := uint32(2)
+	if cfg.Compress {
+		fileVer = 3
 	}
 
 	offsets := make([]uint64, len(treelets))
 	sizes := make([]uint32, len(treelets))
 	off := int64(headerSize)
 	var padding int64
+	var rawPayload, encPayload int64
 	maxDepth := 0
 	numNodes := 0
 	for ti, t := range treelets {
@@ -218,13 +242,32 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 			off += PageSize - rem
 		}
 		offsets[ti] = uint64(off)
-		sz := 8 + len(t.nodes)*(treeletNodeBytes+2*nA) + len(t.order)*bppFile
+		sz := 8 + len(t.nodes)*(treeletNodeBytes+2*nA) + len(t.order)*posBytes
+		if cfg.Compress {
+			for a, desc := range set.Schema.Attrs {
+				raw := len(t.order) * desc.Type.Size()
+				enc := t.attrEnc[a].encodedLen(len(t.order), desc.Type)
+				sz += 1 + 4 + enc
+				rawPayload += int64(raw)
+				encPayload += int64(enc)
+			}
+		} else {
+			for _, desc := range set.Schema.Attrs {
+				raw := len(t.order) * desc.Type.Size()
+				sz += raw
+				rawPayload += int64(raw)
+				encPayload += int64(raw)
+			}
+		}
 		sizes[ti] = uint32(sz)
 		off += int64(sz)
 	}
 
 	// The whole image, padding pre-zeroed, with room for the footer.
 	footerLen := footerFixedLen + 4*len(treelets)
+	if cfg.Compress {
+		footerLen += footerV3ExtraLen(nA)
+	}
 	buf := make([]byte, off+int64(footerLen))
 
 	// Fill the treelet sections: bounds scan, node records, payload
@@ -290,14 +333,31 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 		}
 		for a, desc := range set.Schema.Attrs {
 			vals := set.Attrs[a]
-			if desc.Type == particles.Float32 {
-				for _, p := range t.order {
-					w.f32(float32(vals[p]))
+			writeRawCol := func() {
+				if desc.Type == particles.Float32 {
+					for _, p := range t.order {
+						w.f32(float32(vals[p]))
+					}
+				} else {
+					for _, p := range t.order {
+						w.f64(vals[p])
+					}
+				}
+			}
+			if cfg.Compress {
+				// Version-3 section framing: codec id, encoded length,
+				// payload. Raw sections stream the v2 column bytes
+				// directly; encoded sections copy the arena-built stream.
+				enc := t.attrEnc[a]
+				w.u8(enc.codec)
+				w.u32(uint32(enc.encodedLen(len(t.order), desc.Type)))
+				if enc.codec == codecRaw {
+					writeRawCol()
+				} else {
+					w.bytes(enc.data)
 				}
 			} else {
-				for _, p := range t.order {
-					w.f64(vals[p])
-				}
+				writeRawCol()
 			}
 		}
 		if w.pos != sectionStart+int(sizes[ti]) {
@@ -354,7 +414,7 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 	// Header (depends on the treelet bounds, so written after the fill).
 	w := &writer{buf: buf}
 	w.bytes([]byte(magic))
-	w.u32(version)
+	w.u32(fileVer)
 	w.u32(flags)
 	w.u64(uint64(set.Len()))
 	w.box(domain)
@@ -409,6 +469,25 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 	for ti := range treelets {
 		w.u32(crcs[ti])
 	}
+	if cfg.Compress {
+		// Version-3 extension: the declared per-attribute codec class and
+		// error bound (validated against every section at decode time),
+		// the LOD error scale, and the payload byte totals so readers can
+		// report the whole-file ratio without scanning sections.
+		bounds := cfg.AttrBounds(nA)
+		w.u32(uint32(nA))
+		for _, b := range bounds {
+			c := uint8(codecDelta)
+			if b > 0 {
+				c = codecQuant
+			}
+			w.u8(c)
+			w.f64(b)
+		}
+		w.f64(cfg.EffectiveLODScale())
+		w.u64(uint64(rawPayload))
+		w.u64(uint64(encPayload))
+	}
 	w.u32(checksum.CRC32C(buf[footerStart:w.pos]))
 	w.u32(uint32(w.pos - footerStart + 8))
 	w.bytes([]byte(footerMagic))
@@ -427,6 +506,9 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 		FileBytes:       int64(len(buf)),
 		RawDataBytes:    int64(set.Len()) * int64(set.Schema.BytesPerParticle()),
 		PaddingBytes:    padding,
+
+		AttrPayloadRawBytes: rawPayload,
+		AttrPayloadEncBytes: encPayload,
 	}
 	return &Built{Buf: buf, Stats: stats}, nil
 }

@@ -89,6 +89,16 @@ type File struct {
 	headerCRC   uint32
 	treeletCRCs []uint32
 
+	// Codec state (version >= 3, from the footer extension): the declared
+	// per-attribute codec class and absolute error bound, the LOD error
+	// scale, and the file-wide payload byte totals. attrBounds == nil for
+	// uncompressed files.
+	attrCodecs []uint8
+	attrBounds []float64
+	lodScale   float64
+	rawPayload uint64
+	encPayload uint64
+
 	closer io.Closer
 
 	// cache holds parsed treelets: sharded, singleflight, LRU-bounded.
@@ -472,8 +482,16 @@ func (f *File) loadFooter(c *cursor) error {
 	}
 	f.headerCRC = binary.LittleEndian.Uint32(foot)
 	nT := binary.LittleEndian.Uint32(foot[4:])
-	if int(nT) != len(f.leaves) || int64(footerFixedLen+4*nT) != fLen {
+	if int(nT) != len(f.leaves) {
 		return fmt.Errorf("%w: footer lists %d treelets, header %d", ErrChecksum, nT, len(f.leaves))
+	}
+	nA := f.Schema.NumAttrs()
+	wantLen := int64(footerFixedLen) + 4*int64(nT)
+	if f.Version >= 3 {
+		wantLen += int64(footerV3ExtraLen(nA))
+	}
+	if wantLen != fLen {
+		return fmt.Errorf("%w: footer length %d, want %d for %d treelets", ErrChecksum, fLen, wantLen, nT)
 	}
 	if got := checksum.CRC32C(c.buf[:c.pos]); got != f.headerCRC {
 		return fmt.Errorf("%w: header CRC %08x != %08x", ErrChecksum, got, f.headerCRC)
@@ -481,6 +499,39 @@ func (f *File) loadFooter(c *cursor) error {
 	f.treeletCRCs = make([]uint32, nT)
 	for i := range f.treeletCRCs {
 		f.treeletCRCs[i] = binary.LittleEndian.Uint32(foot[8+4*i:])
+	}
+	if f.Version >= 3 {
+		// The v3 extension sits between the treelet CRCs and the footer
+		// CRC (already verified above, so out-of-range values here mean a
+		// writer bug or a crafted file, not a torn write).
+		p := 8 + 4*int(nT)
+		fnA := binary.LittleEndian.Uint32(foot[p:])
+		p += 4
+		if int(fnA) != nA {
+			return fmt.Errorf("%w: footer declares %d attributes, header %d", ErrChecksum, fnA, nA)
+		}
+		f.attrCodecs = make([]uint8, nA)
+		f.attrBounds = make([]float64, nA)
+		for a := 0; a < nA; a++ {
+			f.attrCodecs[a] = foot[p]
+			p++
+			f.attrBounds[a] = math.Float64frombits(binary.LittleEndian.Uint64(foot[p:]))
+			p += 8
+			if f.attrCodecs[a] > codecDelta {
+				return fmt.Errorf("bat: footer attribute %d declares unknown codec id %d", a, f.attrCodecs[a])
+			}
+			if b := f.attrBounds[a]; math.IsNaN(b) || math.IsInf(b, 0) || b < 0 {
+				return fmt.Errorf("bat: footer attribute %d declares invalid error bound %v", a, b)
+			}
+		}
+		f.lodScale = math.Float64frombits(binary.LittleEndian.Uint64(foot[p:]))
+		p += 8
+		if math.IsNaN(f.lodScale) || math.IsInf(f.lodScale, 0) || f.lodScale < 1 {
+			return fmt.Errorf("bat: footer declares invalid LOD error scale %v", f.lodScale)
+		}
+		f.rawPayload = binary.LittleEndian.Uint64(foot[p:])
+		p += 8
+		f.encPayload = binary.LittleEndian.Uint64(foot[p:])
 	}
 	// No treelet may extend into the footer region.
 	dataEnd := uint64(f.size - fLen)
@@ -521,6 +572,108 @@ func (f *File) Verify() error {
 		}
 	}
 	return nil
+}
+
+// CompressionInfo describes a version-3 file's codec configuration and
+// whole-file payload accounting, read from the footer extension.
+type CompressionInfo struct {
+	// Codecs is the declared codec class per attribute (see CodecName):
+	// quant for lossy attributes, delta for lossless ones. Individual
+	// sections may still fall back to raw when encoding would not shrink
+	// them.
+	Codecs []uint8
+	// Bounds is the absolute error bound per attribute; 0 means lossless.
+	Bounds []float64
+	// LODScale multiplies the bound for values referenced by LOD samples.
+	LODScale float64
+	// RawPayloadBytes / EncPayloadBytes are the attribute payload sizes
+	// before and after encoding, summed over every treelet.
+	RawPayloadBytes uint64
+	EncPayloadBytes uint64
+}
+
+// Ratio returns the attribute payload compression ratio (raw / encoded),
+// or 0 when the file holds no attribute payload.
+func (ci *CompressionInfo) Ratio() float64 {
+	if ci.EncPayloadBytes == 0 {
+		return 0
+	}
+	return float64(ci.RawPayloadBytes) / float64(ci.EncPayloadBytes)
+}
+
+// Compression returns the file's codec configuration, or nil for
+// uncompressed (version <= 2) files.
+func (f *File) Compression() *CompressionInfo {
+	if f.attrBounds == nil {
+		return nil
+	}
+	ci := &CompressionInfo{
+		Codecs:          append([]uint8(nil), f.attrCodecs...),
+		Bounds:          append([]float64(nil), f.attrBounds...),
+		LODScale:        f.lodScale,
+		RawPayloadBytes: f.rawPayload,
+		EncPayloadBytes: f.encPayload,
+	}
+	return ci
+}
+
+// SectionInfo describes one attribute section of one treelet: the codec the
+// section actually used (which may be a raw fallback even in a compressed
+// file) and its raw vs. on-disk encoded size.
+type SectionInfo struct {
+	Attr     string
+	Codec    uint8
+	RawBytes int
+	EncBytes int
+}
+
+// TreeletSections reads treelet ti's attribute section framing — per-section
+// codec id and encoded length — without decoding any payload. For
+// version <= 2 files every section is raw. Used by batinspect.
+func (f *File) TreeletSections(ctx context.Context, ti int) ([]SectionInfo, error) {
+	if ti < 0 || ti >= len(f.leaves) {
+		return nil, fmt.Errorf("bat: treelet %d out of range (%d treelets)", ti, len(f.leaves))
+	}
+	ref := f.leaves[ti]
+	nA := f.Schema.NumAttrs()
+	nPoints := int(ref.numPoints)
+	out := make([]SectionInfo, nA)
+	if f.Version < 3 {
+		for a, desc := range f.Schema.Attrs {
+			raw := nPoints * desc.Type.Size()
+			out[a] = SectionInfo{Attr: desc.Name, Codec: codecRaw, RawBytes: raw, EncBytes: raw}
+		}
+		return out, nil
+	}
+	buf := make([]byte, ref.byteLen)
+	if _, err := pfs.ReadAtContext(ctx, f.src, buf, int64(ref.offset)); err != nil {
+		return nil, fmt.Errorf("bat: reading treelet %d: %w", ti, err)
+	}
+	posBytes := 12
+	if f.Quantized {
+		posBytes = 6
+	}
+	p := 8 + int(ref.numNodes)*(treeletNodeBytes+2*nA) + nPoints*posBytes
+	for a, desc := range f.Schema.Attrs {
+		if p+5 > len(buf) {
+			return nil, fmt.Errorf("bat: treelet %d attribute %q: truncated codec stream", ti, desc.Name)
+		}
+		codec := buf[p]
+		encLen := binary.LittleEndian.Uint32(buf[p+1:])
+		p += 5
+		if int64(encLen) > int64(len(buf)-p) {
+			return nil, fmt.Errorf("bat: treelet %d attribute %q: truncated codec stream (%d bytes declared, %d remain)",
+				ti, desc.Name, encLen, len(buf)-p)
+		}
+		p += int(encLen)
+		out[a] = SectionInfo{
+			Attr:     desc.Name,
+			Codec:    codec,
+			RawBytes: nPoints * desc.Type.Size(),
+			EncBytes: int(encLen),
+		}
+	}
+	return out, nil
 }
 
 // validChildRef reports whether a shallow-tree child reference points at an
@@ -844,6 +997,46 @@ func (f *File) parseTreelet(ctx context.Context, ti int) (*parsedTreelet, error)
 		}
 	}
 	t.attrs = make([][]float64, nA)
+	if f.Version >= 3 {
+		// Version-3 framed codec sections. Decoding runs right here — i.e.
+		// inside whichever query worker triggered the load — so decode
+		// overlaps other workers' pfs reads, and the cache stores the
+		// decoded float64 columns so hits pay nothing. The LOD mask is
+		// derived from the node records at most once per treelet, and only
+		// when a quant section actually needs it.
+		var lodOnce []bool
+		lodMask := func() []bool {
+			if lodOnce == nil {
+				lodOnce = lodMaskFromDisk(t.nodes, int(nPoints))
+			}
+			return lodOnce
+		}
+		for a := 0; a < nA; a++ {
+			codec, err := c.u8()
+			if err != nil {
+				return nil, err
+			}
+			encLen, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			if remain := int(c.size) - c.pos; int64(encLen) > int64(remain) {
+				return nil, fmt.Errorf("bat: treelet %d attribute %q: truncated codec stream (%d bytes declared, %d remain)",
+					ti, f.Schema.Attrs[a].Name, encLen, remain)
+			}
+			payload, err := c.need(int(encLen))
+			if err != nil {
+				return nil, err
+			}
+			vals, err := decodeAttrSection(codec, payload, int(nPoints),
+				f.Schema.Attrs[a].Type, f.attrBounds[a], f.lodScale, lodMask)
+			if err != nil {
+				return nil, fmt.Errorf("bat: treelet %d attribute %q: %w", ti, f.Schema.Attrs[a].Name, err)
+			}
+			t.attrs[a] = vals
+		}
+		return t, nil
+	}
 	for a := 0; a < nA; a++ {
 		vals := make([]float64, nPoints)
 		for i := range vals {

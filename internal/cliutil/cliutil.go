@@ -32,6 +32,24 @@ func ParseSize(s string) (int64, error) {
 	return int64(v * float64(mul)), nil
 }
 
+// ParseBounds parses a comma-separated list of non-negative error bounds
+// ("1e-3" or "1e-3,0,2.5e-2") for the -error-bound style flags.
+func ParseBounds(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid error bound %q", p)
+		}
+		if v < 0 || v != v || v > 1e308 {
+			return nil, fmt.Errorf("error bound %q must be finite and >= 0", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 // FormatSize renders a byte count with a binary unit suffix.
 func FormatSize(b int64) string {
 	switch {

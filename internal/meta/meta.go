@@ -22,12 +22,15 @@ import (
 
 const magic = "BATM"
 
-// version is the format written; version 2 appended a CRC32C trailer
-// (checksum u32 over every preceding byte, then trailer magic) verified
-// before the body is parsed. Version-1 files, which have no trailer, are
-// still read.
+// version is the newest readable format; version 2 appended a CRC32C
+// trailer (checksum u32 over every preceding byte, then trailer magic)
+// verified before the body is parsed, and version 3 appended the dataset's
+// compression declaration (per-attribute error bounds + LOD error scale)
+// after the leaf records. Version 3 is written only when Compression is
+// set, so uncompressed datasets keep producing byte-identical version-2
+// metadata; version-1 files, which have no trailer, are still read.
 const (
-	version      = 2
+	version      = 3
 	minVersion   = 1
 	trailerMagic = "BMCK"
 	trailerLen   = 8
@@ -70,6 +73,15 @@ type Node struct {
 	Bitmaps     []bitmap.Bitmap
 }
 
+// CompressionMeta declares how the dataset's leaf files were compressed:
+// the absolute error bound per attribute (0 = lossless) and the LOD error
+// scale, mirroring the BAT v3 footer so tools can report the configuration
+// without opening a leaf file.
+type CompressionMeta struct {
+	ErrorBounds []float64
+	LODScale    float64
+}
+
 // Meta is the parsed top-level metadata.
 type Meta struct {
 	Schema       particles.Schema
@@ -77,6 +89,9 @@ type Meta struct {
 	GlobalRanges []bitmap.Range
 	Nodes        []Node
 	Leaves       []LeafMeta
+	// Compression is the dataset's codec declaration; nil when the leaf
+	// files are uncompressed (version <= 2 metadata).
+	Compression *CompressionMeta
 }
 
 // Build assembles the metadata from the aggregation tree (nil for flat
@@ -271,11 +286,17 @@ func (w *writer) bitmaps(bms []bitmap.Bitmap) {
 	}
 }
 
-// Encode serializes the metadata.
+// Encode serializes the metadata. Version 3 is emitted only when the
+// compression declaration is present; uncompressed datasets encode to
+// byte-identical version-2 buffers.
 func (m *Meta) Encode() []byte {
+	ver := uint32(2)
+	if m.Compression != nil {
+		ver = 3
+	}
 	w := &writer{}
 	w.buf = append(w.buf, magic...)
-	w.u32(version)
+	w.u32(ver)
 	nA := m.Schema.NumAttrs()
 	w.u32(uint32(nA))
 	for a, d := range m.Schema.Attrs {
@@ -302,6 +323,20 @@ func (m *Meta) Encode() []byte {
 			w.rng(l.LocalRanges[a])
 		}
 		w.bitmaps(l.Bitmaps)
+	}
+	if m.Compression != nil {
+		for a := 0; a < nA; a++ {
+			b := 0.0
+			if a < len(m.Compression.ErrorBounds) {
+				b = m.Compression.ErrorBounds[a]
+			}
+			w.f64(b)
+		}
+		scale := m.Compression.LODScale
+		if scale < 1 {
+			scale = 1
+		}
+		w.f64(scale)
 	}
 	// Checksum trailer over everything above.
 	w.u32(checksum.CRC32C(w.buf))
@@ -528,6 +563,24 @@ func Decode(buf []byte) (*Meta, error) {
 		if l.Bitmaps, err = r.bitmaps(nA); err != nil {
 			return nil, err
 		}
+	}
+	if ver >= 3 {
+		cm := &CompressionMeta{ErrorBounds: make([]float64, nA)}
+		for a := 0; a < nA; a++ {
+			if cm.ErrorBounds[a], err = r.f64(); err != nil {
+				return nil, err
+			}
+			if b := cm.ErrorBounds[a]; math.IsNaN(b) || math.IsInf(b, 0) || b < 0 {
+				return nil, fmt.Errorf("meta: attribute %d declares invalid error bound %v", a, b)
+			}
+		}
+		if cm.LODScale, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if math.IsNaN(cm.LODScale) || math.IsInf(cm.LODScale, 0) || cm.LODScale < 1 {
+			return nil, fmt.Errorf("meta: invalid LOD error scale %v", cm.LODScale)
+		}
+		m.Compression = cm
 	}
 	return m, nil
 }

@@ -79,6 +79,12 @@ type (
 	QueryStats = bat.QueryStats
 	// CacheStats snapshots treelet cache hit/miss/eviction counters.
 	CacheStats = bat.CacheStats
+	// CompressionInfo describes a BAT v3 leaf file's codec configuration
+	// (per-attribute error bounds, LOD error scale, payload ratio).
+	CompressionInfo = bat.CompressionInfo
+	// CompressionMeta is the dataset-level codec declaration mirrored
+	// into the top-level metadata at write time.
+	CompressionMeta = meta.CompressionMeta
 	// Layout is the pluggable leaf file format (paper §VII extension);
 	// the default is the BAT.
 	Layout = core.Layout
@@ -450,6 +456,17 @@ func (d *Dataset) NumParticles() int64 { return d.meta.TotalCount() }
 
 // NumFiles returns the number of leaf files.
 func (d *Dataset) NumFiles() int { return len(d.meta.Leaves) }
+
+// Compression returns the dataset's codec declaration from the top-level
+// metadata, or nil when the leaf files are uncompressed.
+func (d *Dataset) Compression() *CompressionMeta {
+	if d.meta.Compression == nil {
+		return nil
+	}
+	cm := *d.meta.Compression
+	cm.ErrorBounds = append([]float64(nil), cm.ErrorBounds...)
+	return &cm
+}
 
 // AttrRange returns the global value range of an attribute.
 func (d *Dataset) AttrRange(attr int) (min, max float64, err error) {

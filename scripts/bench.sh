@@ -11,6 +11,13 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_read.json}"
 particles="${READBENCH_PARTICLES:-400000}"
+compress_out="${COMPRESSBENCH_OUT:-BENCH_compress.json}"
+compress_particles="${COMPRESSBENCH_PARTICLES:-400000}"
+
+# The compression benchmark is serial (build + single-worker scans), so it
+# is meaningful on any machine and runs before the core-count guard below.
+go run ./cmd/batbench -compressbench -compressbench-out "$compress_out" \
+	-compress-particles "$compress_particles"
 
 # The parallel-read numbers are meaningless on one core: every Workers>1
 # configuration degenerates to time-sliced serial execution plus scheduler

@@ -47,6 +47,12 @@ run "go test -race TestChaos" go test -race -run 'TestChaos' ./internal/core/
 # even on single-core CI runners.
 run "go test -race TestBuildDeterminism" env GOMAXPROCS=4 go test -race -run 'TestBuildDeterminism' ./internal/bat/
 
+# The v3 codec layer under the race detector: the max-error property
+# (random per-attribute bounds, lossless bit-exactness, LOD two-grid
+# bounds) plus encode determinism across worker counts, with decode
+# running fused inside the concurrent query workers.
+run "go test -race compression" env GOMAXPROCS=4 go test -race -run 'TestCompressed|TestCompressionInfo|TestGolden' ./internal/bat/
+
 # The concurrent query engine under the race detector: shared-File queries,
 # parallel-vs-serial multiset identity, the treelet cache singleflight, and
 # the batserve overlapping-request tests. GOMAXPROCS forced above 1 so the
@@ -85,6 +91,22 @@ readbench_smoke() {
 	return $rc
 }
 run "bench smoke readbench" readbench_smoke
+
+# Compression bench smoke: small-scale run into a temp file; the bench
+# self-validates every decoded value against its declared error bound and
+# checks its own JSON on the way out. Never gates on speed.
+compressbench_smoke() {
+	out="$(mktemp)" || return 1
+	if ! go run ./cmd/batbench -compressbench -compressbench-out "$out" -compress-particles 50000 >/dev/null; then
+		rm -f "$out"
+		return 1
+	fi
+	test -s "$out"
+	rc=$?
+	rm -f "$out"
+	return $rc
+}
+run "bench smoke compressbench" compressbench_smoke
 
 # batserve end-to-end smoke: write a small dataset, serve it, drive a few
 # queries over HTTP, and require /metrics, /debug/access, and /debug/queries
