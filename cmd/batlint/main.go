@@ -5,18 +5,24 @@
 //
 //	go run ./cmd/batlint ./...          # whole repo (the CI gate)
 //	go run ./cmd/batlint -list          # describe the analyzers
+//	go run ./cmd/batlint -json ./...    # machine-readable findings
+//	go run ./cmd/batlint -waivers ./... # audit every //batlint:ignore
 //	go run ./cmd/batlint -spanpair=false ./internal/core/...
 //
 // As a go vet tool (the unitchecker protocol — go vet loads packages and
-// hands each unit to the tool as a .cfg file):
+// hands each unit to the tool as a .cfg file). Interprocedural summaries
+// travel between units as facts in the .vetx files the protocol already
+// moves around, so vet mode sees the same cross-package bounds the
+// standalone mode computes in one process:
 //
 //	go build -o /tmp/batlint ./cmd/batlint
 //	go vet -vettool=/tmp/batlint ./...
 //
 // Exit status: 0 clean, 1 on internal errors (load/type-check failures),
-// 2 when findings were reported. Findings are suppressed only by an
-// auditable //batlint:ignore <analyzer> <justification> comment; see
-// README.md and DESIGN.md §9.
+// 2 when findings were reported (or, with -waivers, when a directive is
+// malformed). Findings are suppressed only by an auditable
+// //batlint:ignore <analyzer> <justification> comment; see README.md and
+// DESIGN.md §9.
 package main
 
 import (
@@ -65,6 +71,27 @@ func printVersion() {
 	fmt.Printf("%s version devel buildID=%x\n", filepath.Base(progname), h.Sum(nil)[:24])
 }
 
+// findingJSON is one -json record: position, analyzer, message, and
+// whether a //batlint:ignore covered it (with the justification).
+type findingJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Waived   bool   `json:"waived"`
+	Waiver   string `json:"waiver,omitempty"`
+}
+
+// waiverJSON is one -waivers -json record.
+type waiverJSON struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers,omitempty"`
+	Reason    string   `json:"reason"`
+	Malformed bool     `json:"malformed,omitempty"`
+}
+
 // runStandalone loads packages with `go list -export` and runs the suite.
 func runStandalone(args []string) int {
 	fs := flag.NewFlagSet("batlint", flag.ExitOnError)
@@ -73,6 +100,9 @@ func runStandalone(args []string) int {
 		fs.PrintDefaults()
 	}
 	list := fs.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings (including waived ones) as JSON on stdout")
+	waiversMode := fs.Bool("waivers", false,
+		"audit mode: inventory every //batlint:ignore (file, analyzer, justification); exit 2 on malformed directives")
 	suite := analyzers.All()
 	enabled := map[string]*bool{}
 	for _, a := range suite {
@@ -98,16 +128,89 @@ func runStandalone(args []string) int {
 		fmt.Fprintln(os.Stderr, "batlint:", err)
 		return 1
 	}
+	if *waiversMode {
+		return runWaiversAudit(pkgs, *jsonOut)
+	}
 	findings, err := analysis.Run(pkgs, active)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "batlint:", err)
 		return 1
 	}
+	live := 0
 	for _, f := range findings {
-		fmt.Println(f)
+		if !f.Waived {
+			live++
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "batlint: %d finding(s)\n", len(findings))
+	if *jsonOut {
+		recs := make([]findingJSON, 0, len(findings))
+		for _, f := range findings {
+			recs = append(recs, findingJSON{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+				Waived:   f.Waived,
+				Waiver:   f.WaiverReason,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			fmt.Fprintln(os.Stderr, "batlint:", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			if !f.Waived {
+				fmt.Println(f)
+			}
+		}
+	}
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "batlint: %d finding(s)\n", live)
+		return 2
+	}
+	return 0
+}
+
+// runWaiversAudit prints the live-waiver ledger and fails on malformed
+// directives, so waiver debt is a reviewable report instead of a grep.
+func runWaiversAudit(pkgs []*analysis.Package, jsonOut bool) int {
+	ws := analysis.CollectWaivers(pkgs)
+	malformed := 0
+	for _, w := range ws {
+		if w.Malformed {
+			malformed++
+		}
+	}
+	if jsonOut {
+		recs := make([]waiverJSON, 0, len(ws))
+		for _, w := range ws {
+			recs = append(recs, waiverJSON{
+				File: w.File, Line: w.Line,
+				Analyzers: w.Analyzers, Reason: w.Reason, Malformed: w.Malformed,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			fmt.Fprintln(os.Stderr, "batlint:", err)
+			return 1
+		}
+	} else {
+		for _, w := range ws {
+			if w.Malformed {
+				fmt.Printf("%s:%d: MALFORMED //batlint:ignore (needs <analyzer> <why>): %s\n",
+					w.File, w.Line, w.Reason)
+				continue
+			}
+			fmt.Printf("%s:%d: %s — %s\n", w.File, w.Line, strings.Join(w.Analyzers, ","), w.Reason)
+		}
+		fmt.Fprintf(os.Stderr, "batlint: %d live waiver(s), %d malformed\n", len(ws)-malformed, malformed)
+	}
+	if malformed > 0 {
 		return 2
 	}
 	return 0
@@ -121,15 +224,17 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // runVetUnit analyzes one go vet unit of work: type-check the unit's files
-// against the export data the go command already built, run the suite, and
-// write the (empty — batlint exports no facts) .vetx file the protocol
-// requires.
+// against the export data the go command already built, seed the
+// interprocedural state from the dependency facts in PackageVetx, run the
+// suite, and write this unit's summaries to the .vetx file the protocol
+// requires — that is how cross-package bounds reach downstream units.
 func runVetUnit(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -141,23 +246,33 @@ func runVetUnit(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "batlint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "batlint:", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
-	// go vet also hands over test units ("pkg [pkg.test]"); batlint's
-	// invariants govern shipped code only — tests seed math/rand and drop
-	// cleanup errors deliberately — matching the standalone loader, which
-	// analyzes GoFiles and never sees test files.
+	// batlint's invariants govern shipped code only — tests seed math/rand
+	// and drop cleanup errors deliberately — but go vet hands over the
+	// package *augmented* with its in-package test files, so the unit is
+	// analyzed with the _test.go files stripped (the shipped files always
+	// form a complete package on their own), matching the standalone
+	// loader. External test packages (every file stripped), synthesized
+	// test mains (".test"), and units outside this module (stdlib
+	// dependencies pulled in for facts) are skipped outright: summaries
+	// only matter for module code, and the analyzers special-case the
+	// stdlib decode entry points structurally.
+	var goFiles []string
 	for _, f := range cfg.GoFiles {
-		if strings.HasSuffix(f, "_test.go") {
-			return 0
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
 		}
+	}
+	skip := !strings.HasPrefix(cfg.ImportPath, "libbat") ||
+		strings.HasSuffix(cfg.ImportPath, ".test") ||
+		len(goFiles) == 0
+	if skip {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "batlint:", err)
+				return 1
+			}
+		}
+		return 0
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
 		if mapped, ok := cfg.ImportMap[path]; ok {
@@ -169,7 +284,7 @@ func runVetUnit(cfgPath string) int {
 		}
 		return os.Open(file)
 	}
-	pkg, err := analysis.TypeCheck(token.NewFileSet(), cfg.ImportPath, cfg.GoFiles, lookup)
+	pkg, err := analysis.TypeCheck(token.NewFileSet(), cfg.ImportPath, goFiles, lookup)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
@@ -177,15 +292,44 @@ func runVetUnit(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "batlint:", err)
 		return 1
 	}
-	findings, err := analysis.Run([]*analysis.Package{pkg}, analyzers.All())
+	// Accumulate dependency facts. Files written by other tools (or the
+	// empty files batlint writes for skipped units) decode to nil and are
+	// ignored.
+	var imported *analysis.Facts
+	for _, vetx := range cfg.PackageVetx {
+		if data, err := os.ReadFile(vetx); err == nil {
+			imported = analysis.MergeFacts(imported, analysis.DecodeFacts(data))
+		}
+	}
+	prog := analysis.BuildProgram([]*analysis.Package{pkg}, imported)
+	if cfg.VetxOutput != "" {
+		facts, err := analysis.EncodeFacts(prog.ExportFacts())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "batlint:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "batlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	findings, err := analysis.RunProgram(prog, []*analysis.Package{pkg}, analyzers.All())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "batlint:", err)
 		return 1
 	}
+	live := 0
 	for _, f := range findings {
+		if f.Waived {
+			continue
+		}
+		live++
 		fmt.Fprintln(os.Stderr, f)
 	}
-	if len(findings) > 0 {
+	if live > 0 {
 		return 2
 	}
 	return 0

@@ -6,7 +6,11 @@
 // sibling packages: a module-aware package loader (load.go) built on
 // `go list -export` and the compiler's export data, and the
 // //batlint:ignore waiver filter (waiver.go) that makes every suppression
-// carry an auditable justification.
+// carry an auditable justification. On top of the per-package contract
+// sits an interprocedural layer (callgraph.go, summary.go): per-function
+// summaries computed to fixpoint over call-graph SCCs, exposed to
+// analyzers via Pass.Prog and serialized as facts through go vet's .vetx
+// files; DESIGN.md §14 describes it.
 package analysis
 
 import (
@@ -37,6 +41,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the interprocedural view over every package in this run:
+	// per-function summaries at fixpoint and the recorded source→sink
+	// taint events. Always non-nil when set by the runner.
+	Prog *Program
+
 	// Report delivers one diagnostic. Set by the runner.
 	Report func(Diagnostic)
 }
@@ -46,9 +55,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ReportRangef reports a formatted diagnostic spanning [pos, end); the end
+// position widens the window a //batlint:ignore waiver can sit on when
+// the flagged expression spans multiple lines.
+func (p *Pass) ReportRangef(pos, end token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, End: end, Message: fmt.Sprintf(format, args...)})
+}
+
 // Diagnostic is one finding inside a package.
 type Diagnostic struct {
 	Pos     token.Pos
+	End     token.Pos // optional: end of the flagged expression
 	Message string
 }
 
@@ -59,6 +76,16 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// EndLine is the last line of the flagged expression (== Pos.Line for
+	// single-line findings); a waiver anywhere in [Pos.Line-1, EndLine]
+	// covers the finding.
+	EndLine int
+	// Waived marks a finding suppressed by a //batlint:ignore directive.
+	// Run returns waived findings too (for -json and audits); callers
+	// gate exit status on the unwaived ones.
+	Waived bool
+	// WaiverReason is the justification of the covering waiver.
+	WaiverReason string
 }
 
 func (f Finding) String() string {

@@ -151,10 +151,18 @@ func typeCheckFiles(fset *token.FileSet, path string, files []*ast.File,
 	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
-// Run executes every analyzer over every package, applies the
-// //batlint:ignore waiver filter, and returns the surviving findings
-// sorted by position.
+// Run executes every analyzer over every package (after computing the
+// interprocedural summaries the analyzers consult via Pass.Prog), applies
+// the //batlint:ignore waiver filter, and returns all findings — waived
+// ones marked, not dropped — sorted by position. Equivalent to
+// RunProgram(BuildProgram(pkgs, nil), ...).
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	return RunProgram(BuildProgram(pkgs, nil), pkgs, analyzers)
+}
+
+// RunProgram is Run with a caller-supplied Program, for callers (batlint's
+// go vet mode) that seed the interprocedural state from imported facts.
+func RunProgram(prog *Program, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	ran := map[string]bool{}
 	for _, a := range analyzers {
 		ran[a.Name] = true
@@ -169,14 +177,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Prog:      prog,
 			}
 			name := a.Name
 			pass.Report = func(d Diagnostic) {
-				diags = append(diags, Finding{
+				f := Finding{
 					Analyzer: name,
 					Pos:      pkg.Fset.Position(d.Pos),
 					Message:  d.Message,
-				})
+				}
+				f.EndLine = f.Pos.Line
+				if d.End.IsValid() {
+					if end := pkg.Fset.Position(d.End); end.Line > f.EndLine {
+						f.EndLine = end.Line
+					}
+				}
+				diags = append(diags, f)
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)

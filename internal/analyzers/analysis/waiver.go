@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -10,11 +11,12 @@ import (
 //
 //	//batlint:ignore <analyzer> <justification>
 //
-// placed either at the end of the flagged line or on its own line
-// immediately above. The justification is mandatory — a bare
-// //batlint:ignore is itself reported — so every suppression in the tree
-// records why the invariant does not apply (the audit trail DESIGN.md §9
-// describes). <analyzer> may be a comma-separated list.
+// placed at the end of the flagged line, on its own line immediately
+// above, or — for findings whose flagged expression spans several lines —
+// on any line the expression covers. The justification is mandatory — a
+// bare //batlint:ignore is itself reported — so every suppression in the
+// tree records why the invariant does not apply (the audit trail
+// DESIGN.md §9 describes). <analyzer> may be a comma-separated list.
 const waiverPrefix = "batlint:ignore"
 
 type waiver struct {
@@ -24,12 +26,61 @@ type waiver struct {
 	used      bool
 }
 
-// applyWaivers filters one package's findings through its waiver comments.
-// Malformed directives (no analyzer name or no justification) become
-// findings themselves, attributed to the pseudo-analyzer "waiver". ran
-// holds the analyzers that actually executed: staleness is only judged for
-// waivers naming at least one of them, so disabling an analyzer on the
-// command line does not mark its waivers stale.
+// Waiver is one parsed //batlint:ignore directive, as inventoried by
+// batlint -waivers. Malformed directives (no analyzer or no
+// justification) carry Malformed=true and an empty analyzer list.
+type Waiver struct {
+	File      string
+	Line      int
+	Analyzers []string
+	Reason    string
+	Malformed bool
+}
+
+// CollectWaivers inventories every //batlint:ignore directive in pkgs,
+// sorted by file and line — the auditable ledger of live suppressions.
+func CollectWaivers(pkgs []*Package) []Waiver {
+	var out []Waiver
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := directiveText(c)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					w := Waiver{File: pos.Filename, Line: pos.Line}
+					if len(fields) < 2 {
+						w.Malformed = true
+						w.Reason = text
+					} else {
+						w.Analyzers = strings.Split(fields[0], ",")
+						w.Reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// applyWaivers filters one package's findings through its waiver comments:
+// covered findings come back marked Waived (with the justification) rather
+// than dropped, so machine-readable output can show them. Malformed
+// directives (no analyzer name or no justification) become findings
+// themselves, attributed to the pseudo-analyzer "waiver". ran holds the
+// analyzers that actually executed: staleness is only judged for waivers
+// naming at least one of them, so disabling an analyzer on the command
+// line does not mark its waivers stale.
 func applyWaivers(pkg *Package, diags []Finding, ran map[string]bool) []Finding {
 	// file name -> waivers in that file
 	waivers := map[string][]*waiver{}
@@ -47,6 +98,7 @@ func applyWaivers(pkg *Package, diags []Finding, ran map[string]bool) []Finding 
 					out = append(out, Finding{
 						Analyzer: "waiver",
 						Pos:      pos,
+						EndLine:  pos.Line,
 						Message:  "//batlint:ignore needs an analyzer name and a justification: //batlint:ignore <analyzer> <why>",
 					})
 					continue
@@ -63,7 +115,8 @@ func applyWaivers(pkg *Package, diags []Finding, ran map[string]bool) []Finding 
 	for _, d := range diags {
 		if w := matchWaiver(waivers[d.Pos.Filename], d); w != nil {
 			w.used = true
-			continue
+			d.Waived = true
+			d.WaiverReason = w.reason
 		}
 		out = append(out, d)
 	}
@@ -82,7 +135,8 @@ func applyWaivers(pkg *Package, diags []Finding, ran map[string]bool) []Finding 
 				out = append(out, Finding{
 					Analyzer: "waiver",
 					Pos:      positionOnLine(pkg, file, w.line),
-					Message:  "stale //batlint:ignore: no " + strings.Join(w.analyzers, ",") + " finding on this or the next line",
+					EndLine:  w.line,
+					Message:  "stale //batlint:ignore: no " + strings.Join(w.analyzers, ",") + " finding covers this line",
 				})
 			}
 		}
@@ -101,11 +155,19 @@ func directiveText(c *ast.Comment) (string, bool) {
 	return strings.TrimSpace(strings.TrimPrefix(text, waiverPrefix)), true
 }
 
-// matchWaiver finds a waiver covering the finding: same analyzer, same file,
-// on the finding's line or the line above it.
+// matchWaiver finds a waiver covering the finding: same analyzer, same
+// file, on any line from the one above the finding through the end of the
+// flagged expression. The lower bound keeps the classic waiver-above
+// idiom working; the upper bound covers findings reported at an inner
+// expression whose statement spans multiple lines, where gofmt pins the
+// directive to a later line than the reported position.
 func matchWaiver(ws []*waiver, d Finding) *waiver {
+	last := d.EndLine
+	if last < d.Pos.Line {
+		last = d.Pos.Line
+	}
 	for _, w := range ws {
-		if w.line != d.Pos.Line && w.line != d.Pos.Line-1 {
+		if w.line < d.Pos.Line-1 || w.line > last {
 			continue
 		}
 		for _, a := range w.analyzers {

@@ -27,9 +27,10 @@ func d() int { return 4 } //batlint:ignore
 //batlint:ignore disabledcheck not stale: its analyzer did not run
 `
 
-func TestWaivers(t *testing.T) {
+func checkOne(t *testing.T, src string) *Package {
+	t.Helper()
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "w.go", waiverSrc, parser.ParseComments)
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,11 @@ func TestWaivers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg := &Package{Path: "w", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: &types.Info{}}
+	return &Package{Path: "w", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: &types.Info{}}
+}
+
+func TestWaivers(t *testing.T) {
+	pkg := checkOne(t, waiverSrc)
 
 	dummy := &Analyzer{
 		Name: "dummy",
@@ -60,13 +65,34 @@ func TestWaivers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var got []string
+	var live, waived []string
 	for _, fd := range findings {
-		got = append(got, fd.Analyzer+": "+fd.Message)
+		if fd.Waived {
+			if fd.WaiverReason == "" {
+				t.Errorf("waived finding %q has no justification attached", fd.Message)
+			}
+			waived = append(waived, fd.Analyzer+": "+fd.Message)
+			continue
+		}
+		live = append(live, fd.Analyzer+": "+fd.Message)
 	}
-	want := []string{
-		// a and b are suppressed by valid waivers; c's waiver names the
-		// wrong analyzer and d's has no analyzer at all, so both survive.
+	// a and b are suppressed by valid waivers but still reported, marked
+	// Waived, so -json can show them.
+	wantWaived := []string{
+		"dummy: flagged a",
+		"dummy: flagged b",
+	}
+	if len(waived) != len(wantWaived) {
+		t.Fatalf("got %d waived findings, want %d:\n%s", len(waived), len(wantWaived), strings.Join(waived, "\n"))
+	}
+	for i, w := range wantWaived {
+		if waived[i] != w {
+			t.Errorf("waived finding %d = %q, want %q", i, waived[i], w)
+		}
+	}
+	wantLive := []string{
+		// c's waiver names the wrong analyzer and d's has no analyzer at
+		// all, so both survive.
 		"dummy: flagged c",
 		"dummy: flagged d",
 		// d's bare directive is malformed.
@@ -75,12 +101,83 @@ func TestWaivers(t *testing.T) {
 		// disabledcheck one is ignored because that analyzer never ran.
 		"waiver: stale //batlint:ignore: no dummy finding",
 	}
-	if len(got) != len(want) {
-		t.Fatalf("got %d findings, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	if len(live) != len(wantLive) {
+		t.Fatalf("got %d live findings, want %d:\n%s", len(live), len(wantLive), strings.Join(live, "\n"))
 	}
-	for i, w := range want {
-		if !strings.HasPrefix(got[i], w) {
-			t.Errorf("finding %d = %q, want prefix %q", i, got[i], w)
+	for i, w := range wantLive {
+		if !strings.HasPrefix(live[i], w) {
+			t.Errorf("live finding %d = %q, want prefix %q", i, live[i], w)
 		}
+	}
+}
+
+// multilineSrc has one statement per function whose expression spans three
+// lines; the directive sits at the end of the expression, below the line
+// the diagnostic is reported on.
+const multilineSrc = `package w
+
+func widen(ns []int) (total int) {
+	for _, n := range ns {
+		total +=
+			n *
+				2 //batlint:ignore spans directive inside the flagged expression's span
+	}
+	return total
+}
+
+func widenBare(ns []int) (total int) {
+	for _, n := range ns {
+		total +=
+			n *
+				3
+	}
+	return total
+}
+`
+
+// TestWaiverMultilineSpan pins the EndLine matching: a finding whose
+// flagged expression covers lines N..M is waivable from N-1 through M, not
+// just at N, so gofmt-wrapped expressions keep the end-of-expression
+// directive idiom working.
+func TestWaiverMultilineSpan(t *testing.T) {
+	pkg := checkOne(t, multilineSrc)
+
+	spans := &Analyzer{
+		Name: "spans",
+		Doc:  "flags every += statement with its full expression range",
+		Run: func(pass *Pass) error {
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ADD_ASSIGN {
+						pass.ReportRangef(as.Pos(), as.End(), "multiline accumulation")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+
+	findings, err := Run([]*Package{pkg}, []*Analyzer{spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live, waived int
+	for _, f := range findings {
+		if f.Analyzer == "waiver" {
+			t.Errorf("unexpected waiver finding (directive should have matched): %s", f.Message)
+			continue
+		}
+		if f.EndLine <= f.Pos.Line {
+			t.Errorf("finding %q lost its range: EndLine %d <= Pos.Line %d", f.Message, f.EndLine, f.Pos.Line)
+		}
+		if f.Waived {
+			waived++
+		} else {
+			live++
+		}
+	}
+	if waived != 1 || live != 1 {
+		t.Errorf("got %d waived / %d live findings, want 1 / 1", waived, live)
 	}
 }

@@ -1,11 +1,13 @@
-// Package analyzers holds the repo's custom static-analysis suite: six
+// Package analyzers holds the repo's custom static-analysis suite: seven
 // checks that mechanically enforce invariants the pipeline otherwise relies
-// on by convention — little-endian on-disk serialization, guarded narrowing
-// of untrusted decoded integers, a clock/rand/map-order-free BAT build,
-// consumed fabric/pfs errors, paired obs spans, and cancellation-aware
-// sleeps (pfs.SleepContext over time.Sleep). cmd/batlint drives the
+// on by convention — little-endian on-disk serialization, interprocedural
+// taint tracking of decoded integers into narrowing conversions, a
+// clock/rand/map-order-free BAT build, consumed fabric/pfs errors, paired
+// obs spans, cancellation-aware sleeps (pfs.SleepContext over time.Sleep),
+// and contexts threaded into blocking callees. cmd/batlint drives the
 // suite; DESIGN.md §9 maps each analyzer to the bug class that motivated
-// it. Findings are suppressed only by an auditable
+// it, and §14 describes the interprocedural summary layer uintcast and
+// ctxflow are built on. Findings are suppressed only by an auditable
 // //batlint:ignore <analyzer> <justification> comment.
 package analyzers
 
@@ -19,7 +21,7 @@ import (
 
 // All returns the full suite in a stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Endian, UintCast, Determinism, FabricErr, SpanPair, CtxSleep}
+	return []*analysis.Analyzer{Endian, UintCast, Determinism, FabricErr, SpanPair, CtxSleep, CtxFlow}
 }
 
 // inScope reports whether a package import path contains any of elems as a

@@ -1,0 +1,73 @@
+// Package core is the ctxflow fixture: functions that accept a
+// context.Context and either thread it into their blocking callees
+// (clean) or detach from the caller by substituting context.Background()
+// or never consulting the context at all (findings).
+package core
+
+import (
+	"context"
+
+	"ctxflow/pfs"
+)
+
+// loadGood threads the caller's context into the blocking read.
+func loadGood(ctx context.Context, p []byte) (int, error) {
+	return pfs.ReadAtContext(ctx, p, 0)
+}
+
+// loadBackground checks its context once, then hands a fresh root context
+// to the blocking read: the caller's cancellation never reaches the wait.
+func loadBackground(ctx context.Context, p []byte) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return pfs.ReadAtContext(context.Background(), p, 0) // want `hands context\.Background to blocking ReadAtContext`
+}
+
+// loadDropped receives a context it never consults while its body blocks.
+func loadDropped(ctx context.Context) { // want `loadDropped receives a context it never uses`
+	pfs.Wait()
+}
+
+// spin has no context parameter; its summary marks it blocking because it
+// transitively reaches pfs.
+func spin() {
+	pfs.Wait()
+}
+
+// loadTransitive blocks only through the local helper: catching it
+// requires the interprocedural Blocking summary, not the callee's import
+// path.
+func loadTransitive(ctx context.Context) { // want `loadTransitive receives a context it never uses`
+	spin()
+}
+
+// loadDetached documents a deliberate detach (warm-up readahead) with the
+// auditable waiver.
+//
+//batlint:ignore ctxflow warm-up readahead is deliberately detached from the query's lifetime
+func loadDetached(ctx context.Context) {
+	pfs.Wait()
+}
+
+// pureCompute receives a context but never blocks: holding it unused is
+// fine (interfaces force the parameter on non-blocking implementations).
+func pureCompute(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// rootCaller has no context parameter of its own, so starting from
+// context.Background is the only choice: out of scope by construction.
+func rootCaller(p []byte) (int, error) {
+	return pfs.ReadAtContext(context.Background(), p, 0)
+}
+
+// blankCtx declares, visibly in its signature, that cancellation ends
+// here: blank parameters are exempt.
+func blankCtx(_ context.Context) {
+	pfs.Wait()
+}

@@ -1,6 +1,9 @@
 // Package bat is a uintcast fixture reproducing the PR 2 offset-wrap panic
-// shape: a decoded uint64 treelet offset converted to int64 without a
-// bounds check wraps negative and faults the subsequent ReadAt.
+// shape: a uint64 decoded from file bytes converted to int64 without a
+// bounds check wraps negative and faults the subsequent ReadAt. The
+// analyzer is taint-based — only values that originate in decoded input
+// are suspicious — so the fixture first establishes real taint (decodeRef,
+// the binary.LittleEndian calls) and then exercises every sanitizer shape.
 package bat
 
 import (
@@ -19,10 +22,21 @@ type readerAt interface {
 	ReadAt(p []byte, off int64) (int, error)
 }
 
-// loadUnchecked is the bug: ref.offset is attacker-controlled file bytes.
+// decodeRef populates a leafRef from raw file bytes. It is not named
+// Decode*, so nothing here earns program-wide trust: the fields come out
+// tainted, and every later use must bound them (or be flagged).
+func decodeRef(buf []byte) leafRef {
+	return leafRef{
+		offset:  binary.LittleEndian.Uint64(buf[0:]),
+		byteLen: binary.LittleEndian.Uint64(buf[8:]),
+	}
+}
+
+// loadUnchecked is the bug: ref.offset is attacker-controlled file bytes
+// (stored by decodeRef) and goes into ReadAt unbounded.
 func loadUnchecked(r readerAt, ref leafRef) ([]byte, error) {
 	buf := make([]byte, 16)
-	_, err := r.ReadAt(buf, int64(ref.offset)) // want `unchecked conversion int64\(ref\.offset\) of untrusted uint64`
+	_, err := r.ReadAt(buf, int64(ref.offset)) // want `unchecked conversion int64\(ref\.offset\) of decoded uint64`
 	return buf, err
 }
 
@@ -37,10 +51,11 @@ func loadGuarded(r readerAt, ref leafRef, size int64) ([]byte, error) {
 	return buf, err
 }
 
-// loadWaived documents a bound established elsewhere.
+// loadWaived documents a bound established somewhere the analyzer cannot
+// see; the directive is the auditable escape hatch.
 func loadWaived(r readerAt, ref leafRef) ([]byte, error) {
 	buf := make([]byte, 16)
-	//batlint:ignore uintcast offset validated against file size at Decode time
+	//batlint:ignore uintcast offset validated against file size by the caller's retry loop
 	_, err := r.ReadAt(buf, int64(ref.offset))
 	return buf, err
 }
@@ -48,7 +63,7 @@ func loadWaived(r readerAt, ref leafRef) ([]byte, error) {
 // decodeCount narrows a decoded length with no bound: a crafted header can
 // make the count negative after conversion.
 func decodeCount(buf []byte) int {
-	return int(binary.LittleEndian.Uint64(buf)) // want `unchecked conversion int\(binary\.LittleEndian\.Uint64\(buf\)\) of untrusted uint64`
+	return int(binary.LittleEndian.Uint64(buf)) // want `unchecked conversion int\(binary\.LittleEndian\.Uint64\(buf\)\) of decoded uint64`
 }
 
 // decodeCountGuarded bounds the uint64 before narrowing.
@@ -58,6 +73,11 @@ func decodeCountGuarded(buf []byte) (int, error) {
 		return 0, errRange
 	}
 	return int(cnt), nil
+}
+
+// decodeCountClamped bounds with the min builtin instead of a branch.
+func decodeCountClamped(buf []byte) int {
+	return int(min(binary.LittleEndian.Uint64(buf), 1<<20))
 }
 
 // headerLen converts a constant: the compiler checks that, not batlint.
@@ -70,6 +90,82 @@ func headerLen() int {
 func widen(n uint32) uint64 {
 	return uint64(n)
 }
+
+// encoderSide narrows a locally computed accumulator that never touches
+// decoded input: under taint tracking this is simply not suspicious (the
+// shape the old analyzer forced waivers onto in codec.go).
+func encoderSide(vals []uint64) []byte {
+	var acc uint64
+	out := make([]byte, 0, len(vals))
+	for _, v := range vals {
+		acc |= v
+		out = append(out, byte(acc))
+	}
+	return out
+}
+
+// --- interprocedural shapes (summaries, not syntax) ---
+
+// readOffset returns decoded input: its summary taints every caller's
+// result.
+func readOffset(buf []byte) uint64 {
+	return binary.LittleEndian.Uint64(buf)
+}
+
+// useOffset narrows a helper's tainted result: same bug, one call deep.
+func useOffset(buf []byte) int {
+	return int(readOffset(buf)) // want `unchecked conversion int\(readOffset\(buf\)\) of decoded uint64`
+}
+
+// useOffsetBounded bounds the helper's result before narrowing.
+func useOffsetBounded(buf []byte) int {
+	off := readOffset(buf)
+	if off > 1<<20 {
+		return 0
+	}
+	return int(off)
+}
+
+// seekTo narrows its parameter unguarded: no finding here — the parameter
+// itself is not decoded input — but its summary marks the parameter a
+// sink, so callers that pass tainted values are flagged at the call site.
+func seekTo(r readerAt, off uint64) ([]byte, error) {
+	buf := make([]byte, 16)
+	_, err := r.ReadAt(buf, int64(off))
+	return buf, err
+}
+
+// seekDecoded hands decoded input straight to the narrowing helper.
+func seekDecoded(r readerAt, buf []byte) ([]byte, error) {
+	return seekTo(r, binary.LittleEndian.Uint64(buf)) // want `decoded uint64 .* flows unbounded into seekTo`
+}
+
+// seekChecked bounds the value before the helper narrows it.
+func seekChecked(r readerAt, buf []byte, size int64) ([]byte, error) {
+	off := binary.LittleEndian.Uint64(buf)
+	if off > uint64(size) {
+		return nil, errRange
+	}
+	return seekTo(r, off)
+}
+
+// validOffset is a validator: its summary records that it bounds its
+// first parameter, so passing a value through it sanitizes the value at
+// the call site.
+func validOffset(off uint64, size int64) bool {
+	return off < uint64(size)
+}
+
+// seekValidated launders the taint through the validator helper.
+func seekValidated(r readerAt, buf []byte, size int64) ([]byte, error) {
+	off := binary.LittleEndian.Uint64(buf)
+	if !validOffset(off, size) {
+		return nil, errRange
+	}
+	return seekTo(r, off)
+}
+
+// --- the Decode* program-wide trust rule ---
 
 // header models the cross-function Decode rule: fields bounded against the
 // file size in Decode are trusted for narrowing everywhere in the package.
@@ -110,7 +206,7 @@ func readDecodedOffset(r readerAt, h *header) ([]byte, error) {
 
 // useUncheckedStride narrows a field Decode never compared: still flagged.
 func useUncheckedStride(h *header) int {
-	return int(h.stride) // want `unchecked conversion int\(h\.stride\) of untrusted uint64`
+	return int(h.stride) // want `unchecked conversion int\(h\.stride\) of decoded uint64`
 }
 
 // validateStride bounds stride, but outside Decode: that establishes no

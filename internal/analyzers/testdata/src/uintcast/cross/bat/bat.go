@@ -1,0 +1,60 @@
+// Package bat is the caller half of the cross-package uintcast fixture:
+// it decodes untrusted values here and relies on package val for bounds
+// and narrowing. The analyzer must see through the package boundary in
+// both directions — a validator in val sanitizes, a narrowing helper in
+// val makes the call site here the sink.
+package bat
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"uintcast/cross/val"
+)
+
+var errRange = errors.New("field out of range")
+
+type readerAt interface {
+	ReadAt(p []byte, off int64) (int, error)
+}
+
+// loadValidated routes the decoded offset through val.ValidOffset: the
+// bound lives in another package, and no waiver is needed.
+func loadValidated(r readerAt, buf []byte, size int64) ([]byte, error) {
+	off := binary.LittleEndian.Uint64(buf)
+	if !val.ValidOffset(off, size) {
+		return nil, errRange
+	}
+	b := make([]byte, 16)
+	_, err := r.ReadAt(b, int64(off))
+	return b, err
+}
+
+// loadClamped narrows val.Clamp's result: Clamp bounds on every path, so
+// the result is clean despite the tainted argument.
+func loadClamped(buf []byte, limit uint64) int {
+	return int(val.Clamp(binary.LittleEndian.Uint64(buf), limit))
+}
+
+// loadUnvalidated skips the validator: the local narrow is the sink.
+func loadUnvalidated(r readerAt, buf []byte) ([]byte, error) {
+	off := binary.LittleEndian.Uint64(buf)
+	b := make([]byte, 16)
+	_, err := r.ReadAt(b, int64(off)) // want `unchecked conversion int64\(off\) of decoded uint64`
+	return b, err
+}
+
+// narrowViaHelper hands decoded input to val.Narrow, which converts its
+// parameter unguarded: the finding lands here, on the tainted argument.
+func narrowViaHelper(buf []byte) (int64, error) {
+	return val.Narrow(binary.LittleEndian.Uint64(buf)) // want `decoded uint64 .* flows unbounded into Narrow`
+}
+
+// narrowViaHelperBounded bounds the value before the helper narrows it.
+func narrowViaHelperBounded(buf []byte, size int64) (int64, error) {
+	off := binary.LittleEndian.Uint64(buf)
+	if off > uint64(size) {
+		return 0, errRange
+	}
+	return val.Narrow(off)
+}

@@ -1,0 +1,37 @@
+// Package val is the validator half of the cross-package uintcast
+// fixture: helpers whose bounding (or narrowing) behavior lives in a
+// different package than the decoded values they receive. Its import path
+// has no format-package element, so nothing in this file is ever a
+// finding — only its summaries matter.
+package val
+
+import "errors"
+
+var errRange = errors.New("offset out of range")
+
+// ValidOffset bounds its first parameter: the summary records the check,
+// so a caller in another package that routes a decoded value through it
+// has sanitized the value.
+func ValidOffset(off uint64, size int64) bool {
+	return off < uint64(size)
+}
+
+// Clamp bounds off against limit on every path, so its result is clean
+// even when the argument was tainted: no parameter→result flow survives
+// the dominating comparison.
+func Clamp(off, limit uint64) uint64 {
+	if off > limit {
+		return limit
+	}
+	return off
+}
+
+// Narrow converts its parameter unguarded: its summary marks the
+// parameter a sink, making callers in format packages responsible for the
+// bound.
+func Narrow(off uint64) (int64, error) {
+	if off == 0 {
+		return 0, errRange
+	}
+	return int64(off), nil
+}

@@ -105,7 +105,6 @@ func (w *bitWriter) write(v uint64, nbits uint8) {
 	w.acc |= v << w.n
 	w.n += uint(nbits)
 	for w.n >= 8 {
-		//batlint:ignore uintcast taking the accumulator's low byte is the emit operation itself; encoder-side value, not untrusted input
 		w.buf = append(w.buf, byte(w.acc))
 		w.acc >>= 8
 		w.n -= 8
@@ -114,7 +113,6 @@ func (w *bitWriter) write(v uint64, nbits uint8) {
 
 func (w *bitWriter) flush() {
 	if w.n > 0 {
-		//batlint:ignore uintcast taking the accumulator's low byte is the emit operation itself; encoder-side value, not untrusted input
 		w.buf = append(w.buf, byte(w.acc))
 		w.acc, w.n = 0, 0
 	}

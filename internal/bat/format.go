@@ -279,7 +279,6 @@ func compact(set *particles.Set, domain geom.Box, cfg BuildConfig,
 	fillTreelet := func(ti int) {
 		t := treelets[ti]
 		tBounds[ti] = tightBounds(set, t.order)
-		//batlint:ignore uintcast encoder-local offset derived from int64 off above, not decoded input
 		sectionStart := int(offsets[ti])
 		w := &writer{buf: buf, pos: sectionStart}
 		w.u32(uint32(len(t.nodes)))

@@ -25,11 +25,19 @@ run() {
 	fi
 }
 
-# The repo's own static-analysis suite: format endianness, unchecked
-# narrowing of decoded integers, build-pipeline determinism, dropped
-# fabric/pfs errors, unpaired obs spans, uncancellable bare time.Sleep.
-# Zero unwaived findings is the bar.
-run "batlint ./..." go run ./cmd/batlint ./...
+# The repo's own static-analysis suite: format endianness, interprocedural
+# taint tracking of decoded integers into narrowing conversions,
+# build-pipeline determinism, dropped fabric/pfs errors, unpaired obs
+# spans, uncancellable bare time.Sleep, dropped contexts before blocking
+# calls. Zero unwaived findings is the bar. Built once, the same binary
+# serves the standalone gate, the waiver audit, and the go vet unitchecker
+# run — vet reuses the export data the standalone load already warmed.
+BATLINT_BIN="${TMPDIR:-/tmp}/batlint.$$"
+trap 'rm -f "$BATLINT_BIN"' EXIT
+run "build batlint" go build -o "$BATLINT_BIN" ./cmd/batlint
+run "batlint ./..." "$BATLINT_BIN" ./...
+run "batlint -waivers" "$BATLINT_BIN" -waivers ./...
+run "batlint vettool" go vet -vettool="$BATLINT_BIN" ./...
 
 run "go vet ./..." go vet ./...
 
