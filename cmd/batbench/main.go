@@ -88,6 +88,9 @@ func main() {
 		compBench = flag.Bool("compressbench", false, "run the v3 codec benchmark and emit a JSON report")
 		compOut   = flag.String("compressbench-out", "BENCH_compress.json", "output path for the -compressbench report")
 		compScale = flag.Int("compress-particles", 400_000, "particles for the -compressbench corpus")
+		treeBench = flag.Bool("treebench", false, "run the plan-scaling benchmark (centralized vs distributed) and emit a JSON report")
+		treeOut   = flag.String("treebench-out", "BENCH_treebuild.json", "output path for the -treebench report")
+		treeQuick = flag.Bool("treebench-quick", false, "measure fewer real-fabric world sizes in -treebench (CI smoke)")
 		printMax  = flag.Bool("print-gomaxprocs", false, "print effective GOMAXPROCS and exit (scripts/bench.sh)")
 	)
 	flag.Parse()
@@ -110,7 +113,7 @@ func main() {
 		bench.Observer = col
 		mmapio.SetCollector(col)
 	}
-	if !*all && *fig == 0 && *table == 0 && !*fileStats && !*overhead && !*ablate && !*ext && !*measured && !*readBench && !*compBench {
+	if !*all && *fig == 0 && *table == 0 && !*fileStats && !*overhead && !*ablate && !*ext && !*measured && !*readBench && !*compBench && !*treeBench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -123,6 +126,12 @@ func main() {
 	}
 	if *compBench {
 		if err := runCompressBench(*compScale, *compOut); err != nil {
+			fmt.Fprintln(os.Stderr, "batbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *treeBench {
+		if err := runTreeBench(*treeOut, *treeQuick); err != nil {
 			fmt.Fprintln(os.Stderr, "batbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,303 @@
+// Aggregation-plan benchmark: contrasts the centralized rank-0 planner with
+// the distributed splitter-sampling protocol (DESIGN §15) and emits a
+// machine-readable JSON report (BENCH_treebuild.json at the repo root via
+// scripts/bench.sh).
+//
+// Small worlds run both planners for real on the simulated fabric and check
+// byte-equivalence of the resulting plans; the extreme-scale weak-scaling
+// table (up to 4M virtual ranks) comes from the perf cost models, because a
+// real build at millions of simulated ranks is infeasible in-process. The
+// report is self-validating: the centralized curve must grow ~linearly and
+// the distributed curve sublinearly above 1M ranks, with the modeled
+// crossover rank count recorded per system.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"libbat/internal/aggtree"
+	"libbat/internal/fabric"
+	"libbat/internal/geom"
+	"libbat/internal/perf"
+)
+
+// treeBenchReport is the schema of BENCH_treebuild.json.
+type treeBenchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Quick       bool   `json:"quick"`
+
+	// Real runs on the simulated fabric: both planners, equivalence
+	// checked structurally.
+	Measured []treeBenchMeasured `json:"measured"`
+
+	// Modeled weak scaling per system profile.
+	Systems map[string]treeBenchSystem `json:"systems"`
+}
+
+type treeBenchMeasured struct {
+	Ranks        int     `json:"ranks"`
+	Flavor       string  `json:"flavor"`
+	Leaves       int     `json:"leaves"`
+	Equivalent   bool    `json:"equivalent"`
+	CentralizedS float64 `json:"centralized_seconds"`
+	DistributedS float64 `json:"distributed_seconds"`
+	Rounds       int     `json:"collective_rounds"`
+	PeakMembers  int     `json:"peak_members"`
+	Samples      int     `json:"samples"`
+}
+
+type treeBenchSystem struct {
+	CrossoverRanks   int                 `json:"crossover_ranks"`
+	CentralizedSlope float64             `json:"centralized_slope_above_1m"`
+	DistributedSlope float64             `json:"distributed_slope_above_1m"`
+	Rows             []treeBenchModelRow `json:"rows"`
+}
+
+type treeBenchModelRow struct {
+	Ranks        int     `json:"ranks"`
+	Files        int     `json:"files"`
+	CentralizedS float64 `json:"centralized_seconds"`
+	DistributedS float64 `json:"distributed_seconds"`
+}
+
+// treeBenchRanks generates a seeded rank layout: a uniform X slab
+// decomposition or randomly-placed boxes with power-law counts and some
+// empty ranks (the skewed case the adaptive tree exists for).
+func treeBenchRanks(flavor string, size int, seed int64) []aggtree.RankInfo {
+	rng := rand.New(rand.NewSource(seed))
+	ranks := make([]aggtree.RankInfo, size)
+	for r := range ranks {
+		ranks[r].Rank = r
+		switch flavor {
+		case "skewed":
+			c := geom.V3(rng.Float64(), rng.Float64(), rng.Float64())
+			w := rng.Float64() * 0.3
+			ranks[r].Bounds = geom.NewBox(
+				geom.V3(c.X-w, c.Y-w, c.Z-w), geom.V3(c.X+w, c.Y+w, c.Z+w))
+			if rng.Intn(5) == 0 {
+				ranks[r].Count = 0
+			} else {
+				ranks[r].Count = int64(1 + rng.Intn(100)*rng.Intn(100)*10)
+			}
+		default: // uniform
+			lo := float64(r) / float64(size)
+			hi := float64(r+1) / float64(size)
+			ranks[r].Bounds = geom.NewBox(geom.V3(lo, 0, 0), geom.V3(hi, 1, 1))
+			ranks[r].Count = 5000
+		}
+	}
+	return ranks
+}
+
+// treeBenchMeasure runs both planners for real on one rank layout and
+// verifies the distributed plan matches the centralized oracle.
+func treeBenchMeasure(flavor string, size int, bpp int) (treeBenchMeasured, error) {
+	m := treeBenchMeasured{Ranks: size, Flavor: flavor}
+	ranks := treeBenchRanks(flavor, size, int64(size)*31+7)
+	var total int64
+	for _, r := range ranks {
+		total += r.Count
+	}
+	// Aim for a handful of ranks per leaf so both split and consolidation
+	// paths run.
+	target := max(int64(1), total*int64(bpp)/int64(max(1, size/3)))
+	cfg := aggtree.DefaultConfig(target, bpp)
+
+	cenStart := time.Now()
+	oracle, err := aggtree.Build(ranks, cfg)
+	if err != nil {
+		return m, fmt.Errorf("centralized build: %w", err)
+	}
+	oracleAgg := aggtree.AssignAggregators(oracle.Leaves, size)
+	m.CentralizedS = time.Since(cenStart).Seconds()
+	m.Leaves = oracle.NumLeaves()
+
+	plans := make([]*aggtree.DistPlan, size)
+	var tree *aggtree.Tree
+	distStart := time.Now()
+	err = fabric.Run(size, func(c *fabric.Comm) error {
+		p, err := aggtree.DistributedBuild(c, ranks[c.Rank()], aggtree.DistConfig{Config: cfg})
+		if err != nil {
+			return err
+		}
+		plans[c.Rank()] = p
+		at, err := p.AssembleTree(c)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			tree = at
+		}
+		return nil
+	})
+	if err != nil {
+		return m, fmt.Errorf("distributed build: %w", err)
+	}
+	m.DistributedS = time.Since(distStart).Seconds()
+
+	m.Equivalent = reflect.DeepEqual(tree, oracle)
+	for r, p := range plans {
+		if p.OwnAggregator != oracleAgg[r] {
+			m.Equivalent = false
+		}
+		m.Rounds = max(m.Rounds, p.Stats.Rounds)
+		m.PeakMembers = max(m.PeakMembers, p.Stats.PeakMembers)
+		m.Samples = p.Stats.Samples
+	}
+	return m, nil
+}
+
+// logSlope fits the log-log slope of t(n) between the first and last row of
+// a segment.
+func logSlope(rows []treeBenchModelRow, loRanks int, dist bool) float64 {
+	var seg []treeBenchModelRow
+	for _, r := range rows {
+		if r.Ranks >= loRanks {
+			seg = append(seg, r)
+		}
+	}
+	if len(seg) < 2 {
+		return math.NaN()
+	}
+	a, b := seg[0], seg[len(seg)-1]
+	ta, tb := a.CentralizedS, b.CentralizedS
+	if dist {
+		ta, tb = a.DistributedS, b.DistributedS
+	}
+	if ta <= 0 || tb <= 0 {
+		return math.NaN()
+	}
+	return math.Log2(tb/ta) / math.Log2(float64(b.Ranks)/float64(a.Ranks))
+}
+
+// treeBenchSystemTable models both planners across the extended weak-scaling
+// range for one system.
+func treeBenchSystemTable(p perf.Profile, filesPerRank float64, maxRanks int) treeBenchSystem {
+	pp := perf.DefaultPlanParams()
+	sys := treeBenchSystem{}
+	for n := 1 << 10; n <= maxRanks; n <<= 1 {
+		files := max(1, int(filesPerRank*float64(n)))
+		sys.Rows = append(sys.Rows, treeBenchModelRow{
+			Ranks:        n,
+			Files:        files,
+			CentralizedS: p.ModelCentralizedPlan(n, pp).Total().Seconds(),
+			DistributedS: p.ModelDistributedPlan(n, files, pp).Total().Seconds(),
+		})
+	}
+	sys.CrossoverRanks = p.PlanCrossover(pp, filesPerRank, 1<<10, maxRanks)
+	sys.CentralizedSlope = logSlope(sys.Rows, 1<<20, false)
+	sys.DistributedSlope = logSlope(sys.Rows, 1<<20, true)
+	return sys
+}
+
+// validateTreeBenchReport checks the written artifact: valid JSON, all
+// measured runs equivalent, and per system a recorded crossover with a
+// ~linear centralized curve and a sublinear distributed curve above 1M
+// virtual ranks.
+func validateTreeBenchReport(raw []byte) error {
+	var rep treeBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("report is not valid JSON: %w", err)
+	}
+	if rep.GoMaxProcs < 1 || len(rep.Measured) == 0 || len(rep.Systems) == 0 {
+		return fmt.Errorf("report header malformed or sections missing")
+	}
+	for _, m := range rep.Measured {
+		if !m.Equivalent {
+			return fmt.Errorf("measured run (%s, %d ranks): distributed plan differs from centralized oracle",
+				m.Flavor, m.Ranks)
+		}
+		if m.Leaves < 1 || m.Samples < 1 {
+			return fmt.Errorf("measured run (%s, %d ranks) malformed: %+v", m.Flavor, m.Ranks, m)
+		}
+	}
+	for name, sys := range rep.Systems {
+		if len(sys.Rows) == 0 || sys.Rows[len(sys.Rows)-1].Ranks < 1<<20 {
+			return fmt.Errorf("%s: weak-scaling table does not reach 1M ranks", name)
+		}
+		if sys.CrossoverRanks <= 0 {
+			return fmt.Errorf("%s: no centralized->distributed crossover recorded", name)
+		}
+		if !(sys.CentralizedSlope >= 0.95) {
+			return fmt.Errorf("%s: centralized slope %.3f above 1M ranks, expected ~linear (>= 0.95)",
+				name, sys.CentralizedSlope)
+		}
+		if !(sys.DistributedSlope <= 0.6) {
+			return fmt.Errorf("%s: distributed slope %.3f above 1M ranks, expected sublinear (<= 0.6)",
+				name, sys.DistributedSlope)
+		}
+	}
+	return nil
+}
+
+// runTreeBench executes the benchmark, writes the JSON report to outPath,
+// and re-reads it through the validator so a malformed or story-breaking
+// report fails loudly here.
+func runTreeBench(outPath string, quick bool) error {
+	const bpp = 124 // weak-scaling payload: 3 x float32 + 14 x float64
+	rep := treeBenchReport{
+		GeneratedBy: "batbench -treebench",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Quick:       quick,
+		Systems:     map[string]treeBenchSystem{},
+	}
+
+	sizes := []int{16, 64, 256, 512}
+	if quick {
+		sizes = []int{16, 64}
+	}
+	for _, size := range sizes {
+		for _, flavor := range []string{"uniform", "skewed"} {
+			m, err := treeBenchMeasure(flavor, size, bpp)
+			if err != nil {
+				return fmt.Errorf("treebench: %w", err)
+			}
+			rep.Measured = append(rep.Measured, m)
+		}
+	}
+
+	// Weak scaling: 32k particles of 124 B per rank into 32 MB files.
+	filesPerRank := 32768.0 * bpp / float64(32<<20)
+	for _, p := range []perf.Profile{perf.Stampede2(), perf.Summit()} {
+		rep.Systems[p.Name] = treeBenchSystemTable(p, filesPerRank, 1<<22)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	if err := validateTreeBenchReport(raw); err != nil {
+		return fmt.Errorf("treebench: %w", err)
+	}
+
+	fmt.Printf("treebench: %d measured worlds, all plans equivalent to the centralized oracle\n",
+		len(rep.Measured))
+	for _, m := range rep.Measured {
+		fmt.Printf("  %-8s %5d ranks: %4d leaves, centralized %.4fs, distributed %.4fs (%d rounds, peak %d infos/rank)\n",
+			m.Flavor, m.Ranks, m.Leaves, m.CentralizedS, m.DistributedS, m.Rounds, m.PeakMembers)
+	}
+	for name, sys := range rep.Systems {
+		last := sys.Rows[len(sys.Rows)-1]
+		fmt.Printf("  %s: modeled crossover at %d ranks; at %d ranks centralized %.3fs vs distributed %.3fs (slopes %.2f / %.2f)\n",
+			name, sys.CrossoverRanks, last.Ranks, last.CentralizedS, last.DistributedS,
+			sys.CentralizedSlope, sys.DistributedSlope)
+	}
+	fmt.Printf("  report: %s\n", outPath)
+	return nil
+}

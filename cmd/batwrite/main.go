@@ -10,12 +10,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"libbat"
 	"libbat/internal/bench"
 	"libbat/internal/cliutil"
 	"libbat/internal/core"
+	"libbat/internal/obs"
 	"libbat/internal/workloads"
 )
 
@@ -51,6 +54,7 @@ func main() {
 		out       = flag.String("out", "bat-out", "output directory")
 		step      = flag.Int("step", 0, "workload timestep")
 		strategy  = flag.String("strategy", "adaptive", "aggregation: adaptive or aug")
+		plan      = flag.String("plan", "auto", "planning mode: auto, centralized, or distributed")
 		base      = flag.String("name", "", "dataset base name (default <workload>-<step>)")
 		statsOut  = flag.String("stats", "", "write telemetry counters/histograms/spans as JSON to this file")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
@@ -82,6 +86,9 @@ func main() {
 		cfg.Strategy = core.AUG
 	} else if *strategy != "adaptive" {
 		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	if cfg.Plan, err = core.ParsePlanMode(*plan); err != nil {
+		fail(err)
 	}
 	if *buildWkrs < 0 {
 		fail(fmt.Errorf("-build-workers must be >= 0, got %d", *buildWkrs))
@@ -132,4 +139,37 @@ func main() {
 		stats.TreeBuild.Round(time.Microsecond), stats.GatherScatter.Round(time.Microsecond),
 		stats.Transfer.Round(time.Microsecond), stats.BATBuild.Round(time.Microsecond),
 		stats.FileWrite.Round(time.Microsecond), stats.Metadata.Round(time.Microsecond))
+	if col != nil {
+		printFabricTraffic(col)
+	}
+}
+
+// printFabricTraffic summarizes the fabric's per-collective counters
+// (bat_fabric_<op>_calls / bat_fabric_<op>_bytes, summed over ranks) so a
+// -stats run shows on stdout where the planning traffic went.
+func printFabricTraffic(col *obs.Collector) {
+	calls := map[string]int64{}
+	bytes := map[string]int64{}
+	for _, c := range col.Snapshot().Counters {
+		if op, ok := strings.CutPrefix(c.Name, "bat_fabric_"); ok {
+			if name, ok := strings.CutSuffix(op, "_calls"); ok {
+				calls[name] += c.Value
+			} else if name, ok := strings.CutSuffix(op, "_bytes"); ok {
+				bytes[name] += c.Value
+			}
+		}
+	}
+	if len(calls) == 0 {
+		return
+	}
+	ops := make([]string, 0, len(calls))
+	for op := range calls {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Printf("  fabric collectives:")
+	for _, op := range ops {
+		fmt.Printf(" %s=%d/%.1fKB", op, calls[op], float64(bytes[op])/1024)
+	}
+	fmt.Println()
 }

@@ -220,26 +220,12 @@ func evaluateAxis(ranks []RankInfo, axis geom.Axis) splitResult {
 		if cost < best.cost {
 			ratio := math.Inf(1)
 			if nl > 0 && nr > 0 {
-				ratio = float64(max64(nl, nr)) / float64(min64(nl, nr))
+				ratio = float64(max(nl, nr)) / float64(min(nl, nr))
 			}
 			best = splitResult{axis: axis, pos: pos, cost: cost, ratio: ratio, nl: nl, nr: nr, ok: true}
 		}
 	}
 	return best
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // parallelDepth bounds goroutine spawning during the parallel build.

@@ -1,0 +1,371 @@
+// Distributed aggregation-tree construction. DistributedBuild produces,
+// collectively across all fabric ranks, exactly the plan the centralized
+// Build would compute from the gathered rank infos — same leaves, same
+// aggregator assignments, bit-identical split planes — while no rank ever
+// materializes all P rank infos. Rank 0's peak planning state is
+// O(P/owners + samples) instead of O(P).
+//
+// The construction (DESIGN §15) runs in four phases:
+//
+//  1. A tree Allreduce agrees on the global domain, total particle count,
+//     and active-rank count.
+//  2. Every s-th active rank contributes a (Morton code, rank) sample of
+//     its bounds center; one Allgather replicates the O(P/s) sample set,
+//     from which every rank derives the same sorted splitter list.
+//  3. The splitters cut Morton space into G buckets, each owned by a rank
+//     spread through the rank space; one Alltoallv routes each rank's
+//     60-byte info record to its bucket owner.
+//  4. All ranks walk one replicated top-down recursion over the tree:
+//     per-node aggregates come from an Allreduce, nodes whose members have
+//     collapsed onto a single owner are finished locally by the serial
+//     oracle buildRec, and multi-owner nodes find their exact split plane
+//     through collective bit-pattern bisection (distrefine.go). Leaf
+//     numbering falls out of the shared depth-first order, so assignments
+//     are delivered point-to-point without any central fan-in.
+package aggtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"libbat/internal/fabric"
+	"libbat/internal/geom"
+	"libbat/internal/morton"
+)
+
+// DistConfig controls the distributed build. The embedded Config must match
+// the centralized build's exactly for the equivalence guarantee to hold;
+// the added knobs only trade communication volume against parallelism and
+// never change the resulting plan.
+type DistConfig struct {
+	Config
+	// SampleStride s has every s-th active rank contribute one splitter
+	// sample, bounding the replicated sample set at ceil(P/s) entries.
+	// Default 16.
+	SampleStride int
+	// Owners bounds the number of bucket-owner ranks the sampled splitter
+	// space is cut into. Default: the world size.
+	Owners int
+	// ConsolidateMembers is the member-count threshold at or below which a
+	// multi-owner node is consolidated onto its lowest owner and finished
+	// serially instead of split collectively. Default 32.
+	ConsolidateMembers int
+}
+
+// DefaultDistConfig mirrors DefaultConfig for the distributed entry point.
+func DefaultDistConfig(targetFileSize int64, bytesPerParticle int) DistConfig {
+	return DistConfig{Config: DefaultConfig(targetFileSize, bytesPerParticle)}
+}
+
+// AggLeaf is one leaf this rank aggregates: everything the write pipeline
+// needs to receive the member ranks' data and write the output file.
+type AggLeaf struct {
+	// Index is the leaf's global index in depth-first tree order.
+	Index int
+	// Bounds is the union of the member ranks' bounds.
+	Bounds geom.Box
+	// Count is the total particle count of the leaf.
+	Count int64
+	// Overfull records whether the leaf was created by the overfull rule.
+	Overfull bool
+	// Senders lists the member ranks (ascending) and Counts their particle
+	// counts, parallel to Senders.
+	Senders []int
+	Counts  []int64
+}
+
+// DistStats reports how the distributed construction went on this rank.
+type DistStats struct {
+	// Samples is the size of the replicated splitter sample set.
+	Samples int
+	// Owners is the number of bucket-owner ranks.
+	Owners int
+	// PeakMembers is the largest number of rank infos this rank held at any
+	// point — the O(P/owners + samples) planning-state bound under test.
+	PeakMembers int
+	// Rounds counts the Allreduce rounds the refinement recursion used.
+	Rounds int
+}
+
+// DistPlan is one rank's view of the collectively built plan.
+type DistPlan struct {
+	// Domain is the union of all active ranks' bounds.
+	Domain geom.Box
+	// TotalCount is the global particle count.
+	TotalCount int64
+	// NumLeaves is the number of leaves (output files) in the tree.
+	NumLeaves int
+	// OwnLeaf is the global index of the leaf containing this rank, or -1
+	// when the rank has no particles.
+	OwnLeaf int
+	// OwnAggregator is the aggregator rank this rank sends its data to, or
+	// -1 when it has no particles.
+	OwnAggregator int
+	// AggLeaves lists the leaves this rank aggregates, ascending by index.
+	AggLeaves []AggLeaf
+	// Stats describes the construction itself.
+	Stats DistStats
+
+	// Skeleton and owned subtree fragments, kept for AssembleTree.
+	skel []skelNode
+	subs []localSub
+	size int
+}
+
+// skelNode is one node of the replicated tree skeleton. Split nodes carry
+// the collectively agreed split; sub nodes delegate a whole subtree to one
+// owner rank and record how many leaves it contributed.
+type skelNode struct {
+	split       bool
+	axis        geom.Axis
+	pos         float64
+	bounds      geom.Box
+	count       int64
+	left, right int // skeleton indices, split nodes only
+	owner       int // sub nodes only
+	leaves      int // sub nodes only
+}
+
+// localSub is a subtree this rank owns: the serial-oracle-built root plus
+// its position in the global plan.
+type localSub struct {
+	skelIdx    int
+	root       *buildNode
+	leafOffset int
+	members    []RankInfo
+}
+
+// Reserved point-to-point tag block for the distributed build, above the
+// write pipeline's small tags and below the fabric collective tags.
+const (
+	tagDistConsolidate = 1<<28 + iota
+	tagDistAssign
+	tagDistAggLeaf
+)
+
+// rankInfoBytes is the fixed wire size of one encoded RankInfo.
+const rankInfoBytes = 4 + 8 + 6*8
+
+func appendRankInfo(buf []byte, r RankInfo) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Rank))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Count))
+	for _, f := range [6]float64{
+		r.Bounds.Lower.X, r.Bounds.Lower.Y, r.Bounds.Lower.Z,
+		r.Bounds.Upper.X, r.Bounds.Upper.Y, r.Bounds.Upper.Z,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	return buf
+}
+
+func decodeRankInfos(buf []byte) []RankInfo {
+	n := len(buf) / rankInfoBytes
+	out := make([]RankInfo, n)
+	for i := range out {
+		b := buf[i*rankInfoBytes:]
+		f := func(o int) float64 {
+			return math.Float64frombits(binary.LittleEndian.Uint64(b[o:]))
+		}
+		out[i] = RankInfo{
+			Rank:  int(binary.LittleEndian.Uint32(b)),
+			Count: int64(binary.LittleEndian.Uint64(b[4:])),
+			Bounds: geom.Box{
+				Lower: geom.V3(f(12), f(20), f(28)),
+				Upper: geom.V3(f(36), f(44), f(52)),
+			},
+		}
+	}
+	return out
+}
+
+// sampleKey orders ranks along the Morton curve of their bounds centers,
+// with the rank id breaking ties so the order is total and identical on
+// every rank.
+type sampleKey struct {
+	code morton.Code
+	rank int
+}
+
+func (a sampleKey) less(b sampleKey) bool {
+	if a.code != b.code {
+		return a.code < b.code
+	}
+	return a.rank < b.rank
+}
+
+// DistributedBuild collectively constructs the aggregation-tree plan. All
+// ranks of the fabric must call it with the same cfg; own describes the
+// calling rank's contribution (own.Rank must equal c.Rank()). The returned
+// plan is provably identical to what Build + AssignAggregators would
+// produce centrally from the same inputs.
+func DistributedBuild(c *fabric.Comm, own RankInfo, cfg DistConfig) (*DistPlan, error) {
+	if cfg.TargetFileSize <= 0 {
+		return nil, fmt.Errorf("aggtree: target file size must be positive, got %d", cfg.TargetFileSize)
+	}
+	if cfg.BytesPerParticle <= 0 {
+		return nil, fmt.Errorf("aggtree: bytes per particle must be positive, got %d", cfg.BytesPerParticle)
+	}
+	if own.Rank != c.Rank() {
+		return nil, fmt.Errorf("aggtree: own.Rank %d != fabric rank %d", own.Rank, c.Rank())
+	}
+	if cfg.SampleStride <= 0 {
+		cfg.SampleStride = 16
+	}
+	if cfg.Owners <= 0 {
+		cfg.Owners = c.Size()
+	}
+	if cfg.ConsolidateMembers <= 0 {
+		cfg.ConsolidateMembers = 32
+	}
+
+	d := &distBuilder{c: c, cfg: cfg, own: own, size: c.Size()}
+
+	// Phase 1: global domain, total count, active-rank count.
+	active := own.Count > 0
+	rec := make([]byte, 0, 8*8)
+	rec = binary.LittleEndian.AppendUint64(rec, uint64(own.Count))
+	if active {
+		rec = binary.LittleEndian.AppendUint64(rec, 1)
+	} else {
+		rec = binary.LittleEndian.AppendUint64(rec, 0)
+	}
+	b := own.Bounds
+	if !active {
+		b = geom.EmptyBox()
+	}
+	rec = appendBox(rec, b)
+	out := c.Allreduce(rec, combineGlobal)
+	d.rounds++
+	total := int64(binary.LittleEndian.Uint64(out))
+	activeRanks := int64(binary.LittleEndian.Uint64(out[8:]))
+	domain := decodeBox(out[16:])
+
+	plan := &DistPlan{
+		Domain:        domain,
+		TotalCount:    total,
+		OwnLeaf:       -1,
+		OwnAggregator: -1,
+		size:          d.size,
+	}
+	if activeRanks == 0 {
+		return plan, nil
+	}
+
+	// Phase 2: splitter sampling. Every SampleStride-th active rank
+	// contributes its (Morton code, rank) key; the Allgather replicates the
+	// sample set, from which every rank independently derives the same
+	// sorted splitter list.
+	key := sampleKey{rank: own.Rank}
+	var sample []byte
+	if active {
+		key.code = morton.FromPoint(own.Bounds.Center(), domain)
+		if own.Rank%cfg.SampleStride == 0 {
+			sample = binary.LittleEndian.AppendUint64(nil, uint64(key.code))
+			sample = binary.LittleEndian.AppendUint32(sample, uint32(own.Rank))
+		}
+	}
+	gathered := c.Allgather(sample)
+	d.rounds++
+	var samples []sampleKey
+	for _, g := range gathered {
+		if len(g) == 12 {
+			samples = append(samples, sampleKey{
+				code: morton.Code(binary.LittleEndian.Uint64(g)),
+				rank: int(binary.LittleEndian.Uint32(g[8:])),
+			})
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].less(samples[j]) })
+
+	// Phase 3: cut the sampled key space into G buckets with owners spread
+	// through the rank space, and route every active rank's info record to
+	// its bucket owner with one Alltoallv.
+	owners := cfg.Owners
+	if owners > d.size {
+		owners = d.size
+	}
+	if owners > len(samples)+1 {
+		owners = len(samples) + 1
+	}
+	splitters := make([]sampleKey, 0, owners-1)
+	for i := 1; i < owners; i++ {
+		splitters = append(splitters, samples[i*len(samples)/owners])
+	}
+	ownerOf := func(b int) int { return b * d.size / owners }
+	parts := make([][]byte, d.size)
+	if active {
+		bucket := sort.Search(len(splitters), func(i int) bool {
+			return key.less(splitters[i])
+		})
+		parts[ownerOf(bucket)] = appendRankInfo(nil, own)
+	}
+	routed := c.Alltoallv(parts)
+	d.rounds++
+	var members []RankInfo
+	for _, p := range routed {
+		members = append(members, decodeRankInfos(p)...)
+	}
+	d.notePeak(len(members) + len(samples))
+
+	// Phase 4: replicated top-down refinement (distrefine.go).
+	d.refineRoot(members, plan)
+
+	plan.Stats = DistStats{
+		Samples:     len(samples),
+		Owners:      owners,
+		PeakMembers: d.peak,
+		Rounds:      d.rounds,
+	}
+	return plan, nil
+}
+
+// distBuilder carries the per-rank state of one distributed build.
+type distBuilder struct {
+	c      *fabric.Comm
+	cfg    DistConfig
+	own    RankInfo
+	size   int
+	rounds int
+	peak   int
+}
+
+func (d *distBuilder) notePeak(n int) {
+	if n > d.peak {
+		d.peak = n
+	}
+}
+
+func appendBox(buf []byte, b geom.Box) []byte {
+	for _, f := range [6]float64{
+		b.Lower.X, b.Lower.Y, b.Lower.Z,
+		b.Upper.X, b.Upper.Y, b.Upper.Z,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	return buf
+}
+
+func decodeBox(buf []byte) geom.Box {
+	f := func(o int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[o:]))
+	}
+	return geom.Box{
+		Lower: geom.V3(f(0), f(8), f(16)),
+		Upper: geom.V3(f(24), f(32), f(40)),
+	}
+}
+
+// combineGlobal folds two phase-1 records: counts sum, bounds union.
+func combineGlobal(acc, next []byte) []byte {
+	a := binary.LittleEndian.Uint64(acc) + binary.LittleEndian.Uint64(next)
+	binary.LittleEndian.PutUint64(acc, a)
+	a = binary.LittleEndian.Uint64(acc[8:]) + binary.LittleEndian.Uint64(next[8:])
+	binary.LittleEndian.PutUint64(acc[8:], a)
+	ab := decodeBox(acc[16:])
+	nb := decodeBox(next[16:])
+	u := ab.Union(nb)
+	box := appendBox(acc[:16], u)
+	return box
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"libbat/internal/fabric"
+	"libbat/internal/geom"
+	"libbat/internal/pfs"
+	"libbat/internal/workloads"
+)
+
+// storeContents snapshots every file in a memory store.
+func storeContents(t *testing.T, store *pfs.Mem) map[string][]byte {
+	t.Helper()
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(names))
+	for _, name := range names {
+		f, err := store.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, f.Size())
+		if _, err := f.ReadAt(data, 0); err != nil && f.Size() > 0 {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		f.Close()
+		out[name] = data
+	}
+	return out
+}
+
+// TestPlanModesProduceIdenticalDatasets is the end-to-end counterpart of the
+// aggtree equivalence property test: a full collective write planned
+// centrally and one planned distributedly must leave byte-identical leaf
+// files and metadata in the store.
+func TestPlanModesProduceIdenticalDatasets(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		ranks int
+		ppr   int
+	}{
+		{"uniform-16", 16, 400},
+		{"uniform-24", 24, 300},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := workloads.NewUniform(tc.ranks, int64(tc.ppr), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stores := map[PlanMode]*pfs.Mem{
+				PlanCentralized: pfs.NewMem(),
+				PlanDistributed: pfs.NewMem(),
+			}
+			for mode, store := range stores {
+				cfg := DefaultWriteConfig(16 * 1024)
+				cfg.Plan = mode
+				stats := runWrite(t, w, 0, store, "step0", cfg)
+				if stats.NumFiles < 2 {
+					t.Fatalf("%v: expected multiple files, got %d", mode, stats.NumFiles)
+				}
+				if stats.TotalCount != int64(tc.ranks*tc.ppr) {
+					t.Fatalf("%v: TotalCount = %d", mode, stats.TotalCount)
+				}
+				if stats.LeafSizes.NumFiles != stats.NumFiles {
+					t.Fatalf("%v: LeafSizes.NumFiles = %d, NumFiles = %d", mode, stats.LeafSizes.NumFiles, stats.NumFiles)
+				}
+			}
+			cen := storeContents(t, stores[PlanCentralized])
+			dist := storeContents(t, stores[PlanDistributed])
+			if len(cen) != len(dist) {
+				t.Fatalf("centralized wrote %d files, distributed %d", len(cen), len(dist))
+			}
+			for name, want := range cen {
+				got, ok := dist[name]
+				if !ok {
+					t.Fatalf("distributed store missing %s", name)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s differs between plan modes (%d vs %d bytes)", name, len(want), len(got))
+				}
+			}
+		})
+	}
+}
+
+// TestPlanModeResolve pins the PlanAuto switchover policy.
+func TestPlanModeResolve(t *testing.T) {
+	for _, tc := range []struct {
+		mode      PlanMode
+		strategy  Strategy
+		size, thr int
+		want      PlanMode
+	}{
+		{PlanAuto, Adaptive, 16, 0, PlanCentralized},
+		{PlanAuto, Adaptive, DefaultDistPlanThreshold, 0, PlanDistributed},
+		{PlanAuto, Adaptive, 64, 64, PlanDistributed},
+		{PlanAuto, AUG, 1 << 20, 0, PlanCentralized},
+		{PlanCentralized, Adaptive, 1 << 20, 0, PlanCentralized},
+		{PlanDistributed, Adaptive, 2, 0, PlanDistributed},
+	} {
+		if got := tc.mode.resolve(tc.strategy, tc.size, tc.thr); got != tc.want {
+			t.Errorf("resolve(%v, %v, %d, %d) = %v, want %v",
+				tc.mode, tc.strategy, tc.size, tc.thr, got, tc.want)
+		}
+	}
+}
+
+// TestPlanModeParseAndString round-trips the CLI values.
+func TestPlanModeParseAndString(t *testing.T) {
+	for _, s := range []string{"auto", "centralized", "distributed"} {
+		m, err := ParsePlanMode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.String() != s {
+			t.Errorf("ParsePlanMode(%q).String() = %q", s, m.String())
+		}
+	}
+	if _, err := ParsePlanMode("bogus"); err == nil {
+		t.Error("bogus plan mode should error")
+	}
+}
+
+// TestPlanDistributedRejectsAUG: the AUG baseline has no distributed
+// builder; requesting one must fail identically on every rank.
+func TestPlanDistributedRejectsAUG(t *testing.T) {
+	w, err := workloads.NewUniform(4, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := pfs.NewMem()
+	runErr := fabric.Run(4, func(c *fabric.Comm) error {
+		cfg := DefaultWriteConfig(1 << 20)
+		cfg.Strategy = AUG
+		cfg.Plan = PlanDistributed
+		_, err := Write(c, store, "x", w.Generate(0, c.Rank()), w.Decomp().RankBounds(c.Rank()), cfg)
+		if err == nil {
+			return fmt.Errorf("rank %d: AUG + distributed plan should error", c.Rank())
+		}
+		return nil
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+}
+
+// TestPlanDistributedEmptyWrite: an all-empty world through the distributed
+// planner still yields a valid (empty) dataset readable afterwards.
+func TestPlanDistributedEmptyWrite(t *testing.T) {
+	const ranks = 8
+	store := pfs.NewMem()
+	w, err := workloads.NewUniform(ranks, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := fabric.Run(ranks, func(c *fabric.Comm) error {
+		local := w.Generate(0, c.Rank()).Slice(0, 0)
+		cfg := DefaultWriteConfig(1 << 20)
+		cfg.Plan = PlanDistributed
+		st, err := Write(c, store, "empty", local, w.Decomp().RankBounds(c.Rank()), cfg)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", c.Rank(), err)
+		}
+		if c.Rank() == 0 && st.NumFiles != 0 {
+			return fmt.Errorf("empty world wrote %d files", st.NumFiles)
+		}
+		return nil
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var total int
+	err = fabric.Run(2, func(c *fabric.Comm) error {
+		got, _, err := Read(c, store, "empty", geom.NewBox(geom.V3(0, 0, 0), geom.V3(1, 1, 1)))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			total = got.Len()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Fatalf("empty dataset returned %d particles", total)
+	}
+}

@@ -34,12 +34,77 @@ func (s Strategy) String() string {
 	return "adaptive"
 }
 
+// PlanMode selects how phase (a) builds the aggregation plan.
+type PlanMode int
+
+const (
+	// PlanAuto plans centrally below the threshold world size and
+	// distributedly above it (adaptive strategy only; the AUG baseline
+	// always plans centrally).
+	PlanAuto PlanMode = iota
+	// PlanCentralized is the paper's original design: gather all rank
+	// infos on rank 0, build there, scatter assignments. Kept as the
+	// small-world fast path and the oracle the distributed plan is tested
+	// against.
+	PlanCentralized
+	// PlanDistributed builds the identical plan collectively via
+	// aggtree.DistributedBuild; no rank materializes all P rank infos.
+	PlanDistributed
+)
+
+func (m PlanMode) String() string {
+	switch m {
+	case PlanCentralized:
+		return "centralized"
+	case PlanDistributed:
+		return "distributed"
+	}
+	return "auto"
+}
+
+// ParsePlanMode parses a -plan CLI value.
+func ParsePlanMode(s string) (PlanMode, error) {
+	switch s {
+	case "auto", "":
+		return PlanAuto, nil
+	case "centralized":
+		return PlanCentralized, nil
+	case "distributed":
+		return PlanDistributed, nil
+	}
+	return PlanAuto, fmt.Errorf("core: unknown plan mode %q (want auto, centralized, or distributed)", s)
+}
+
+// DefaultDistPlanThreshold is the world size at which PlanAuto switches to
+// distributed planning: below it the centralized plan's O(P) costs are
+// cheaper than the distributed protocol's collective rounds (see
+// perf.ModelCentralizedPlan / ModelDistributedPlan for the crossover).
+const DefaultDistPlanThreshold = 512
+
+func (m PlanMode) resolve(s Strategy, size, threshold int) PlanMode {
+	if m != PlanAuto {
+		return m
+	}
+	if threshold <= 0 {
+		threshold = DefaultDistPlanThreshold
+	}
+	if s == Adaptive && size >= threshold {
+		return PlanDistributed
+	}
+	return PlanCentralized
+}
+
 // WriteConfig configures a collective write.
 type WriteConfig struct {
 	// TargetFileSize is the tunable aggregation granularity (bytes).
 	TargetFileSize int64
 	// Strategy picks adaptive (default) or AUG aggregation.
 	Strategy Strategy
+	// Plan selects centralized or distributed planning (default PlanAuto).
+	Plan PlanMode
+	// PlanThreshold overrides the PlanAuto world-size switchover
+	// (0 = DefaultDistPlanThreshold).
+	PlanThreshold int
 	// Tree holds the adaptive tree options; TargetFileSize and
 	// BytesPerParticle are filled in from this config and the schema.
 	Tree aggtree.Config
@@ -114,13 +179,6 @@ func (s *WriteStats) phases() PhaseTimes {
 	}
 }
 
-func maxDur(a, b time.Duration) time.Duration {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Total returns the rank's end-to-end write time.
 func (s *WriteStats) Total() time.Duration {
 	return s.TreeBuild + s.GatherScatter + s.Transfer + s.BATBuild + s.FileWrite + s.Metadata
@@ -157,17 +215,54 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 	whole := col.Start(c.Rank(), "write")
 	defer whole.End()
 
-	// Phase a: gather counts and bounds on rank 0, build the plan, and
-	// scatter assignments (Figure 1a).
+	// Phase a: build the aggregation plan (Figure 1a) — either centrally
+	// on rank 0 (gather all infos, build, scatter assignments) or via the
+	// distributed splitter-sampling protocol in which no rank ever holds
+	// all P rank infos (DESIGN §15). Both modes produce the identical
+	// plan; centralized remains the small-world fast path and the oracle.
+	mode := cfg.Plan.resolve(cfg.Strategy, c.Size(), cfg.PlanThreshold)
+	if mode == PlanDistributed && cfg.Strategy != Adaptive {
+		// Every rank evaluates this identically before any message is
+		// exchanged, so returning here keeps the collective aligned.
+		return nil, fmt.Errorf("core: distributed planning supports only the adaptive strategy")
+	}
 	start := time.Now()
-	gatherSp := col.Start(c.Rank(), "write.gather")
-	infos := c.Gather(0, encode(infoMsg{Count: int64(local.Len()), Bounds: bounds}))
-	gatherSp.End()
 	var asg assignMsg
 	var asgErr error // rank failed to obtain its assignment; skip the body
 	var tree *aggtree.Tree
 	var leaves []aggtree.Leaf
-	if c.Rank() == 0 {
+	var dplan *aggtree.DistPlan
+	if mode == PlanDistributed {
+		planSp := col.Start(c.Rank(), "write.dist-plan")
+		tcfg := cfg.Tree
+		tcfg.TargetFileSize = cfg.TargetFileSize
+		tcfg.BytesPerParticle = bpp
+		var err error
+		dplan, err = aggtree.DistributedBuild(c,
+			aggtree.RankInfo{Rank: c.Rank(), Bounds: bounds, Count: int64(local.Len())},
+			aggtree.DistConfig{Config: tcfg})
+		planSp.End()
+		if err != nil {
+			// DistributedBuild fails only on configuration validation,
+			// which every rank evaluates identically before communicating:
+			// all ranks return the same error and no abort scatter is
+			// needed.
+			return nil, err
+		}
+		stats.TreeBuild = time.Since(start)
+		stats.NumFiles = dplan.NumLeaves
+		stats.TotalCount = dplan.TotalCount
+		asg.Aggregator = dplan.OwnAggregator
+		for _, al := range dplan.AggLeaves {
+			asg.Leaves = append(asg.Leaves, leafAssign{
+				Leaf: al.Index, Bounds: al.Bounds,
+				Senders: al.Senders, Counts: al.Counts,
+			})
+		}
+	} else if c.Rank() == 0 {
+		gatherSp := col.Start(c.Rank(), "write.gather")
+		infos := c.Gather(0, encode(infoMsg{Count: int64(local.Len()), Bounds: bounds}))
+		gatherSp.End()
 		parts, planErr := func() ([][]byte, error) {
 			ranks := make([]aggtree.RankInfo, c.Size())
 			for r, raw := range infos {
@@ -247,6 +342,9 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 			asgErr = fmt.Errorf("core: decoding assignment: %w", err)
 		}
 	} else {
+		gatherSp := col.Start(c.Rank(), "write.gather")
+		c.Gather(0, encode(infoMsg{Count: int64(local.Len()), Bounds: bounds}))
+		gatherSp.End()
 		scatterSp := col.Start(c.Rank(), "write.scatter")
 		err := decode(c.Scatterv(0, nil), &asg)
 		scatterSp.End()
@@ -267,12 +365,35 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 	if asgErr == nil {
 		written, bodyErr = writeBody(c, store, base, local, cfg, asg, schema, stats)
 	}
+	localErr := bodyErr
+
+	if dplan != nil {
+		// Distributed planning never materialized the full tree; the
+		// metadata file is the first consumer that needs it, and rank 0
+		// already pays O(files) in this phase, so the subtree fragments
+		// are stitched together only now.
+		asmStart := time.Now()
+		asmSp := col.Start(c.Rank(), "write.assemble-tree")
+		at, err := dplan.AssembleTree(c)
+		asmSp.End()
+		stats.Metadata += time.Since(asmStart)
+		if c.Rank() == 0 {
+			if err != nil {
+				if localErr == nil {
+					localErr = err
+				}
+			} else {
+				tree = at
+				leaves = at.Leaves
+				stats.LeafSizes = aggtree.LeafSizeStats(leaves, bpp)
+			}
+		}
+	}
 
 	// Gather every rank's phase timings so rank 0 can report the
 	// critical-path breakdown (the view Figures 6/10/12 plot).
 	phaseGather := c.Gather(0, encode(stats.phases()))
 
-	localErr := bodyErr
 	if c.Rank() == 0 {
 		pm := &PhaseTimes{}
 		for r, raw := range phaseGather {
@@ -283,12 +404,12 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 				}
 				continue
 			}
-			pm.TreeBuild = maxDur(pm.TreeBuild, pt.TreeBuild)
-			pm.GatherScatter = maxDur(pm.GatherScatter, pt.GatherScatter)
-			pm.Transfer = maxDur(pm.Transfer, pt.Transfer)
-			pm.BATBuild = maxDur(pm.BATBuild, pt.BATBuild)
-			pm.FileWrite = maxDur(pm.FileWrite, pt.FileWrite)
-			pm.Metadata = maxDur(pm.Metadata, pt.Metadata)
+			pm.TreeBuild = max(pm.TreeBuild, pt.TreeBuild)
+			pm.GatherScatter = max(pm.GatherScatter, pt.GatherScatter)
+			pm.Transfer = max(pm.Transfer, pt.Transfer)
+			pm.BATBuild = max(pm.BATBuild, pt.BATBuild)
+			pm.FileWrite = max(pm.FileWrite, pt.FileWrite)
+			pm.Metadata = max(pm.Metadata, pt.Metadata)
 		}
 		stats.PhaseMax = pm
 
@@ -299,13 +420,20 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 		// timeout rather than a hang.
 		metaStart := time.Now()
 		metaSp := col.Start(c.Rank(), "write.metadata")
-		reports := make([]meta.LeafReport, 0, len(leaves))
+		// The report count is known even if distributed tree assembly
+		// failed, so the aggregators' buffered reports are always drained
+		// and cannot leak into a later collective on the same fabric.
+		numReports := len(leaves)
+		if dplan != nil {
+			numReports = dplan.NumLeaves
+		}
+		reports := make([]meta.LeafReport, 0, numReports)
 		var leafErr error
-		for received := 0; received < len(leaves); received++ {
+		for received := 0; received < numReports; received++ {
 			raw, _, err := c.RecvTimeout(fabric.AnySource, tagReport, cfg.Timeout)
 			if err != nil {
 				leafErr = fmt.Errorf("core: collecting leaf reports (%d of %d): %w",
-					received, len(leaves), err)
+					received, numReports, err)
 				break
 			}
 			var rm reportMsg
@@ -337,9 +465,9 @@ func Write(c *fabric.Comm, store pfs.Storage, base string, local *particles.Set,
 			}
 			leafErr = err
 		}
-		stats.Metadata = time.Since(metaStart)
+		stats.Metadata += time.Since(metaStart)
 		metaSp.End()
-		pm.Metadata = maxDur(pm.Metadata, stats.Metadata)
+		pm.Metadata = max(pm.Metadata, stats.Metadata)
 		if localErr == nil {
 			localErr = leafErr
 		}

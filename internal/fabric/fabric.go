@@ -184,10 +184,24 @@ func (c *Comm) noteRecv(n int) {
 // operation. Collectives are rare relative to point-to-point traffic, so
 // the label-resolving cold path is fine here.
 func (c *Comm) noteCollective(op string) {
+	c.noteOp(op, 0)
+}
+
+// noteOp counts one collective call plus the payload bytes this rank sent
+// inside it (each byte is charged once, at its sender, so summing the
+// per-rank series gives the collective's total wire volume). The
+// per-operation series make planning-phase comm volume measurable:
+// bat_fabric_<op>_bytes / bat_fabric_<op>_calls.
+func (c *Comm) noteOp(op string, bytes int) {
 	if c.f.col == nil {
 		return
 	}
-	c.f.col.Add("fabric_collectives_total", 1, obs.Rank(c.rank), obs.L("op", op))
+	r := obs.Rank(c.rank)
+	c.f.col.Add("fabric_collectives_total", 1, r, obs.L("op", op))
+	c.f.col.Add("bat_fabric_"+op+"_calls", 1, r)
+	if bytes > 0 {
+		c.f.col.Add("bat_fabric_"+op+"_bytes", int64(bytes), r)
+	}
 }
 
 // Rank returns this communicator's rank.
@@ -424,82 +438,242 @@ const (
 	tagScatter
 	tagBcast
 	tagAllgather
+	tagReduce
+	tagAlltoall
 )
 
-// Gather collects data from every rank on root. On root the result has one
-// entry per rank (the root's own contribution included, at its rank index);
-// on other ranks it returns nil.
+// The rooted collectives route along a binomial tree over virtual ranks
+// vr = (rank - root + size) mod size. A rank's parent is vr with its lowest
+// set bit cleared; its children are vr + 2^k for every 2^k below that bit
+// (all of them for vr = 0). The subtree rooted at the child joined through
+// bit m covers the contiguous virtual-rank range [vr+m, vr+2m), which is
+// what lets gathers and scatters split payloads cleanly and lets reductions
+// fold contributions in ascending rank order regardless of arrival timing.
+// Depth is ceil(log2 P) instead of the O(P) serial loops the root paid
+// before.
+
+// treeLowBit returns the lowest set bit of vr, or size for the tree root
+// (vr = 0), bounding the child masks 1, 2, 4, ... below it.
+func treeLowBit(vr, size int) int {
+	if vr == 0 {
+		return size
+	}
+	return vr & -vr
+}
+
+// gatherEntry is one rank's contribution riding up or down the tree.
+type gatherEntry struct {
+	rank int
+	data []byte
+}
+
+// packEntries serializes entries as (u32 rank, u32 len, bytes) records with
+// a u32 count prefix. Subtrees are non-contiguous in actual-rank space, so
+// each record carries its rank explicitly.
+func packEntries(entries []gatherEntry) []byte {
+	n := 4
+	for _, e := range entries {
+		n += 8 + len(e.data)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.rank))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.data)))
+		buf = append(buf, e.data...)
+	}
+	return buf
+}
+
+// unpackEntries reverses packEntries. Packs travel only rank-to-rank inside
+// one collective, so malformed input is a programming error and panics.
+func unpackEntries(buf []byte) []gatherEntry {
+	count := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	entries := make([]gatherEntry, count)
+	for i := range entries {
+		r := binary.LittleEndian.Uint32(buf)
+		l := binary.LittleEndian.Uint32(buf[4:])
+		entries[i] = gatherEntry{rank: int(r), data: buf[8 : 8+l]}
+		buf = buf[8+l:]
+	}
+	return entries
+}
+
+// gatherTree runs one binomial-tree gather: every rank receives its
+// children's subtree packs, appends its own contribution, and forwards the
+// merged pack to its parent. Returns the per-rank payloads on root (nil
+// elsewhere) plus the bytes this rank sent.
+func (c *Comm) gatherTree(root, tag int, data []byte) ([][]byte, int) {
+	size := c.f.size
+	vr := (c.rank - root + size) % size
+	entries := []gatherEntry{{rank: c.rank, data: data}}
+	low := treeLowBit(vr, size)
+	for mask := 1; mask < low && vr+mask < size; mask <<= 1 {
+		pack, _ := c.Recv((vr+mask+root)%size, tag)
+		entries = append(entries, unpackEntries(pack)...)
+	}
+	if vr == 0 {
+		out := make([][]byte, size)
+		for _, e := range entries {
+			out[e.rank] = e.data
+		}
+		return out, 0
+	}
+	pack := packEntries(entries)
+	c.Send((vr-low+root)%size, tag, pack)
+	return nil, len(pack)
+}
+
+// bcastTree runs one binomial-tree broadcast from root and returns the
+// payload plus the bytes this rank sent.
+func (c *Comm) bcastTree(root, tag int, data []byte) ([]byte, int) {
+	size := c.f.size
+	vr := (c.rank - root + size) % size
+	if vr != 0 {
+		data, _ = c.Recv((vr-(vr&-vr)+root)%size, tag)
+	}
+	sent := 0
+	low := treeLowBit(vr, size)
+	for mask := 1; mask < low && vr+mask < size; mask <<= 1 {
+		c.Send((vr+mask+root)%size, tag, data)
+		sent += len(data)
+	}
+	return data, sent
+}
+
+// Gather collects data from every rank on root along a binomial tree. On
+// root the result has one entry per rank (the root's own contribution
+// included, at its rank index); on other ranks it returns nil.
 func (c *Comm) Gather(root int, data []byte) [][]byte {
-	c.noteCollective("gather")
-	if c.rank != root {
-		c.Send(root, tagGather, data)
-		return nil
-	}
-	out := make([][]byte, c.f.size)
-	out[root] = data
-	for i := 0; i < c.f.size-1; i++ {
-		d, st := c.Recv(AnySource, tagGather)
-		out[st.Source] = d
-	}
+	out, sent := c.gatherTree(root, tagGather, data)
+	c.noteOp("gather", sent)
 	return out
 }
 
-// Scatterv distributes parts[i] from root to rank i and returns this rank's
-// part. On root, parts must have Size entries; on other ranks it is ignored.
+// Scatterv distributes parts[i] from root to rank i along a binomial tree
+// and returns this rank's part. On root, parts must have Size entries; on
+// other ranks it is ignored. Each internal rank receives the pack covering
+// its subtree, keeps its own part, and forwards each child's sub-pack.
 func (c *Comm) Scatterv(root int, parts [][]byte) []byte {
-	c.noteCollective("scatterv")
-	if c.rank == root {
-		if len(parts) != c.f.size {
+	size := c.f.size
+	vr := (c.rank - root + size) % size
+	var entries []gatherEntry
+	if vr == 0 {
+		if len(parts) != size {
 			panic("fabric: Scatterv needs one part per rank")
 		}
+		entries = make([]gatherEntry, size)
 		for i, p := range parts {
-			if i != root {
-				c.Send(i, tagScatter, p)
+			entries[i] = gatherEntry{rank: i, data: p}
+		}
+	} else {
+		pack, _ := c.Recv((vr-(vr&-vr)+root)%size, tagScatter)
+		entries = unpackEntries(pack)
+	}
+	var own []byte
+	sent := 0
+	low := treeLowBit(vr, size)
+	for mask := 1; mask < low && vr+mask < size; mask <<= 1 {
+		var sub []gatherEntry
+		for _, e := range entries {
+			evr := (e.rank - root + size) % size
+			if evr >= vr+mask && evr < vr+2*mask {
+				sub = append(sub, e)
 			}
 		}
-		return parts[root]
+		pack := packEntries(sub)
+		c.Send((vr+mask+root)%size, tagScatter, pack)
+		sent += len(pack)
 	}
-	d, _ := c.Recv(root, tagScatter)
-	return d
+	for _, e := range entries {
+		if e.rank == c.rank {
+			own = e.data
+		}
+	}
+	c.noteOp("scatterv", sent)
+	return own
 }
 
-// Bcast broadcasts data from root to every rank and returns the payload.
+// Bcast broadcasts data from root to every rank along a binomial tree and
+// returns the payload.
 func (c *Comm) Bcast(root int, data []byte) []byte {
-	c.noteCollective("bcast")
-	if c.rank == root {
-		for i := 0; i < c.f.size; i++ {
-			if i != root {
-				c.Send(i, tagBcast, data)
-			}
-		}
-		return data
-	}
-	d, _ := c.Recv(root, tagBcast)
-	return d
+	out, sent := c.bcastTree(root, tagBcast, data)
+	c.noteOp("bcast", sent)
+	return out
 }
 
 // Allgather collects each rank's contribution and returns all of them on
-// every rank, indexed by rank (MPI_Allgather). Implemented as a gather to
-// rank 0 followed by a broadcast of the length-prefixed pack; like the
-// other collectives it must be entered by every rank.
+// every rank, indexed by rank (MPI_Allgather). Implemented as a tree gather
+// to rank 0 followed by a tree broadcast of the length-prefixed pack; like
+// the other collectives it must be entered by every rank.
 func (c *Comm) Allgather(data []byte) [][]byte {
-	c.noteCollective("allgather")
-	if c.rank != 0 {
-		c.Send(0, tagAllgather, data)
-		pack, _ := c.Recv(0, tagAllgather)
-		return unpackParts(pack, c.f.size)
+	parts, sent := c.gatherTree(0, tagAllgather, data)
+	var pack []byte
+	if c.rank == 0 {
+		pack = packParts(parts)
 	}
-	parts := make([][]byte, c.f.size)
-	parts[0] = data
-	for i := 0; i < c.f.size-1; i++ {
-		d, st := c.Recv(AnySource, tagAllgather)
-		parts[st.Source] = d
+	pack, bsent := c.bcastTree(0, tagAllgather, pack)
+	c.noteOp("allgather", sent+bsent)
+	if c.rank == 0 {
+		return parts
 	}
-	pack := packParts(parts)
-	for i := 1; i < c.f.size; i++ {
-		c.Send(i, tagAllgather, pack)
+	return unpackParts(pack, c.f.size)
+}
+
+// Allreduce folds every rank's contribution with combine and returns the
+// result on all ranks. The reduction runs up the binomial tree rooted at
+// rank 0 and the result is broadcast back down. combine is always applied
+// as combine(accumulated, next) in ascending rank order — the fold shape is
+// fixed by the tree, not by arrival timing — so any associative combine
+// (commutative or not) yields a deterministic, rank-order result. combine
+// may modify and return its first argument; it must not retain the second.
+func (c *Comm) Allreduce(data []byte, combine func(acc, next []byte) []byte) []byte {
+	size := c.f.size
+	sent := 0
+	acc := data
+	for mask := 1; mask < size; mask <<= 1 {
+		if c.rank&mask != 0 {
+			c.Send(c.rank^mask, tagReduce, acc)
+			sent += len(acc)
+			break
+		}
+		if c.rank+mask < size {
+			d, _ := c.Recv(c.rank+mask, tagReduce)
+			acc = combine(acc, d)
+		}
 	}
-	return parts
+	out, bsent := c.bcastTree(0, tagReduce, acc)
+	c.noteOp("allreduce", sent+bsent)
+	return out
+}
+
+// Alltoallv sends parts[i] to rank i and returns the payloads received from
+// every rank, indexed by source (MPI_Alltoallv). parts must have Size
+// entries; the rank's own part is passed through untouched. Receives match
+// explicit sources, so back-to-back Alltoallv calls stay correctly paired
+// under the fabric's per-(src,dst,tag) FIFO ordering.
+func (c *Comm) Alltoallv(parts [][]byte) [][]byte {
+	size := c.f.size
+	if len(parts) != size {
+		panic("fabric: Alltoallv needs one part per rank")
+	}
+	sent := 0
+	for dst, p := range parts {
+		if dst != c.rank {
+			c.Send(dst, tagAlltoall, p)
+			sent += len(p)
+		}
+	}
+	out := make([][]byte, size)
+	out[c.rank] = parts[c.rank]
+	for src := 0; src < size; src++ {
+		if src != c.rank {
+			out[src], _ = c.Recv(src, tagAlltoall)
+		}
+	}
+	c.noteOp("alltoallv", sent)
+	return out
 }
 
 // packParts serializes a slice of byte slices with u32 length prefixes.

@@ -42,14 +42,6 @@ func (b ReadBreakdown) Total() time.Duration {
 	return b.Metadata + b.FileRead + b.Query + b.Transfer
 }
 
-// maxI64 returns the larger of two int64s.
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // ModelTwoPhaseWrite charges the paper's write pipeline (§III, Figure 1)
 // for a world of n ranks aggregating into the given leaves. The layout
 // overhead of the BAT (≈1%) is folded into the leaf payload by the caller
@@ -98,10 +90,10 @@ func (p Profile) ModelTwoPhaseWrite(n int, leaves []LeafLoad, metaBytesPerLeaf i
 	}
 	var maxFlow int64
 	for _, v := range ingress {
-		maxFlow = maxI64(maxFlow, v)
+		maxFlow = max(maxFlow, v)
 	}
 	for _, v := range egress {
-		maxFlow = maxI64(maxFlow, v)
+		maxFlow = max(maxFlow, v)
 	}
 	b.Transfer = seconds(float64(maxFlow)/p.NICBandwidth) + p.NetLatency*time.Duration(len(leaves))
 
@@ -117,7 +109,7 @@ func (p Profile) ModelTwoPhaseWrite(n int, leaves []LeafLoad, metaBytesPerLeaf i
 	}
 	var maxLeafBytes int64
 	for _, l := range leaves {
-		maxLeafBytes = maxI64(maxLeafBytes, l.Bytes)
+		maxLeafBytes = max(maxLeafBytes, l.Bytes)
 	}
 	wbw := p.WriterBW(nWriters, maxWritersOnNode)
 	b.FileWrite = p.CreateTime(len(leaves), p.FileCreateRate) +
@@ -172,8 +164,8 @@ func (p Profile) ModelTwoPhaseRead(n int, leaves []LeafLoad, metaBytesPerLeaf in
 	}
 	var maxReaderBytes, maxReaderCount int64
 	for r, v := range readerBytes {
-		maxReaderBytes = maxI64(maxReaderBytes, v)
-		maxReaderCount = maxI64(maxReaderCount, readerCount[r])
+		maxReaderBytes = max(maxReaderBytes, v)
+		maxReaderCount = max(maxReaderCount, readerCount[r])
 	}
 	maxReadersOnNode := 0
 	for _, c := range readersPerNode {
@@ -198,7 +190,7 @@ func (p Profile) ModelTwoPhaseRead(n int, leaves []LeafLoad, metaBytesPerLeaf in
 	if maxReadersOnNode > 0 {
 		egressPerNode = maxReaderBytes * int64(maxReadersOnNode)
 	}
-	flow := maxI64(ingressPerNode, egressPerNode)
+	flow := max(ingressPerNode, egressPerNode)
 	b.Transfer = seconds(float64(flow)/p.NICBandwidth) + p.NetLatency*time.Duration(len(leaves))
 	return b
 }

@@ -1,0 +1,171 @@
+package perf
+
+import "time"
+
+// PlanParams holds the wire and protocol constants of the write pipeline's
+// planning phase (phase a) for the cost models. The byte sizes mirror the
+// actual encodings in internal/aggtree: a rank info record is 60 B on the
+// wire, a split-probe lane 24 B, a Morton sample 12 B.
+type PlanParams struct {
+	// InfoBytes is one rank's {rank, count, bounds} record.
+	InfoBytes int
+	// AssignBytes is one rank's assignment message (leaf + aggregator,
+	// with framing).
+	AssignBytes int
+	// SampleBytes is one Morton splitter sample.
+	SampleBytes int
+	// ProbeBytes is one collective split-probe lane.
+	ProbeBytes int
+	// SampleStride: every stride-th active rank contributes a sample.
+	SampleStride int
+	// RoundsPerNode is the number of collective probe rounds one refined
+	// split node costs (bit-bisection over the coordinate space: ~64
+	// probes per sub-phase, up to three sub-phases per axis).
+	RoundsPerNode int
+	// ConsolidateMembers is the refinement frontier: nodes at or below
+	// this member count consolidate to one owner and finish serially.
+	ConsolidateMembers int
+}
+
+// DefaultPlanParams matches aggtree.DefaultDistConfig and the encodings in
+// internal/aggtree/dist.go.
+func DefaultPlanParams() PlanParams {
+	return PlanParams{
+		InfoBytes:          60,
+		AssignBytes:        48,
+		SampleBytes:        12,
+		ProbeBytes:         24,
+		SampleStride:       16,
+		RoundsPerNode:      200,
+		ConsolidateMembers: 32,
+	}
+}
+
+// PlanCost breaks one planning phase into its legs. A centralized plan
+// fills Gather/Build/Scatter; a distributed plan fills the other five.
+type PlanCost struct {
+	// Centralized legs.
+	Gather  time.Duration // all rank infos funneled into rank 0
+	Build   time.Duration // serial aggregation-tree build on rank 0
+	Scatter time.Duration // assignments scattered back out
+
+	// Distributed legs.
+	Reduce  time.Duration // global {count, active, domain} allreduce
+	Sample  time.Duration // Morton splitter-sample allgather
+	Route   time.Duration // rank infos routed to bucket owners (alltoallv)
+	Refine  time.Duration // collective split refinement + frontier builds
+	Deliver time.Duration // leaf assignments and summaries delivered p2p
+}
+
+// Total sums the legs.
+func (c PlanCost) Total() time.Duration {
+	return c.Gather + c.Build + c.Scatter +
+		c.Reduce + c.Sample + c.Route + c.Refine + c.Deliver
+}
+
+// log2Ceil returns ceil(log2(n)) for n >= 1.
+func log2Ceil(n int) int {
+	d := 0
+	for v := 1; v < n; v <<= 1 {
+		d++
+	}
+	return d
+}
+
+// allreduceTime models one small allreduce over n ranks: a reduction up a
+// binomial tree plus a broadcast back down.
+func (p Profile) allreduceTime(n, bytes int) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	d := log2Ceil(n)
+	return time.Duration(2*d)*p.NetLatency +
+		seconds(float64(2*d*bytes)/p.NICBandwidth)
+}
+
+// ModelCentralizedPlan charges the paper's original phase (a): every rank's
+// info record crosses rank 0's NIC, rank 0 builds the whole tree serially,
+// and every assignment crosses back out. All three legs are Θ(n) in the
+// world size — the planning bottleneck the distributed protocol removes.
+func (p Profile) ModelCentralizedPlan(n int, pp PlanParams) PlanCost {
+	var c PlanCost
+	if n <= 0 {
+		return c
+	}
+	d := time.Duration(log2Ceil(n)) * p.NetLatency
+	c.Gather = d + seconds(float64(n*pp.InfoBytes)/p.NICBandwidth)
+	c.Build = seconds(float64(n) / p.TreeBuildRate)
+	c.Scatter = d + seconds(float64(n*pp.AssignBytes)/p.NICBandwidth)
+	return c
+}
+
+// ModelDistributedPlan charges the splitter-sampling protocol (DESIGN §15)
+// on a real interconnect for a world of n ranks producing files leaves.
+//
+// The refinement leg models the protocol's critical path: sibling subtrees
+// touch disjoint member and owner sets, so an MPI implementation refines
+// them on split sub-communicators concurrently and the critical path is one
+// root-to-frontier chain — levels = ceil(log2(n/C)) levels, each costing
+// RoundsPerNode probe allreduces over a communicator that halves per level.
+// That makes the leg O(log^2 n) where the centralized plan is Θ(n). (The
+// in-process simulation fabric has no sub-communicators and serializes
+// sibling collectives, so measured small-world times sit above this model;
+// the model describes the interconnect behavior the paper's systems would
+// see.) The sample allgather keeps a Θ(n/stride) wire term — at 4M ranks
+// that is ~3 MB through each NIC, well below the refinement leg.
+func (p Profile) ModelDistributedPlan(n, files int, pp PlanParams) PlanCost {
+	var c PlanCost
+	if n <= 0 {
+		return c
+	}
+	if files < 1 {
+		files = 1
+	}
+	d := log2Ceil(n)
+
+	// Global stats allreduce: count + active + domain box (64 B lane).
+	c.Reduce = p.allreduceTime(n, 64)
+
+	// Splitter samples: tree-gather the samples to rank 0, broadcast the
+	// pack; every rank's NIC sees the full sample set twice.
+	samples := (n + pp.SampleStride - 1) / pp.SampleStride
+	c.Sample = 2*time.Duration(d)*p.NetLatency +
+		seconds(float64(2*samples*pp.SampleBytes)/p.NICBandwidth)
+
+	// Routing: each rank sends its own 60 B record and receives its
+	// bucket (~2*stride records by the sample-sort balance bound).
+	bucket := 2 * pp.SampleStride
+	c.Route = p.NetLatency + seconds(float64(bucket*pp.InfoBytes)/p.NICBandwidth)
+
+	// Refinement critical path, plus the serial build of one frontier
+	// subtree on its owner.
+	levels := log2Ceil(max(1, n/max(1, pp.ConsolidateMembers)))
+	for l := 0; l < levels; l++ {
+		sub := max(2, n>>l)
+		c.Refine += time.Duration(pp.RoundsPerNode+1) * p.allreduceTime(sub, pp.ProbeBytes)
+	}
+	c.Refine += seconds(float64(pp.ConsolidateMembers+bucket) / p.TreeBuildRate)
+
+	// Delivery: an owner walks its leaves, sending each member its
+	// assignment and each aggregator its leaf summary; a rank aggregates
+	// ~files/n leaves.
+	perAgg := files/n + 1
+	c.Deliver = time.Duration(perAgg+1)*p.NetLatency +
+		seconds(float64(perAgg*(pp.InfoBytes+pp.AssignBytes))/p.NICBandwidth)
+	return c
+}
+
+// PlanCrossover scans power-of-two world sizes in [lo, hi] and returns the
+// first at which the distributed plan models faster than the centralized
+// one, or 0 if the centralized plan wins everywhere in range. filesPerRank
+// holds the output file count proportional to the world, matching the weak
+// scaling regime.
+func (p Profile) PlanCrossover(pp PlanParams, filesPerRank float64, lo, hi int) int {
+	for n := lo; n <= hi; n *= 2 {
+		files := max(1, int(filesPerRank*float64(n)))
+		if p.ModelDistributedPlan(n, files, pp).Total() < p.ModelCentralizedPlan(n, pp).Total() {
+			return n
+		}
+	}
+	return 0
+}

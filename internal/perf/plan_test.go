@@ -1,0 +1,68 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPlanModelShapes pins the asymptotic story the decentralization is
+// built on: the centralized plan grows at least linearly with the world,
+// the distributed plan sublinearly, and a crossover exists within the
+// extreme-scale range.
+func TestPlanModelShapes(t *testing.T) {
+	for _, p := range []Profile{Stampede2(), Summit()} {
+		pp := DefaultPlanParams()
+
+		// Centralized: doubling the world must at least double the time
+		// (Θ(n) legs) once past tiny sizes.
+		for n := 1 << 10; n <= 1<<21; n <<= 1 {
+			a := p.ModelCentralizedPlan(n, pp).Total()
+			b := p.ModelCentralizedPlan(2*n, pp).Total()
+			if b < a*19/10 {
+				t.Errorf("%s: centralized plan grew %v -> %v from %d to %d ranks (sublinear)",
+					p.Name, a, b, n, 2*n)
+			}
+		}
+
+		// Distributed: log-log slope over the >=1M segment must stay well
+		// below linear.
+		d1 := p.ModelDistributedPlan(1<<20, 1<<18, pp).Total()
+		d4 := p.ModelDistributedPlan(1<<22, 1<<20, pp).Total()
+		slope := math.Log2(float64(d4)/float64(d1)) / 2
+		if slope > 0.6 {
+			t.Errorf("%s: distributed plan slope %.2f over 1M->4M ranks, want <= 0.6", p.Name, slope)
+		}
+
+		// Crossover: somewhere between 1k and 4M ranks the distributed
+		// plan must win, and keep winning from there on.
+		x := p.PlanCrossover(pp, 0.25, 1<<10, 1<<22)
+		if x == 0 {
+			t.Fatalf("%s: no plan crossover found up to 4M ranks", p.Name)
+		}
+		for n := x; n <= 1<<22; n *= 2 {
+			files := max(1, n/4)
+			if p.ModelDistributedPlan(n, files, pp).Total() >= p.ModelCentralizedPlan(n, pp).Total() {
+				t.Errorf("%s: distributed plan loses again at %d ranks past crossover %d", p.Name, n, x)
+			}
+		}
+		t.Logf("%s: plan crossover at %d ranks (centralized %v vs distributed %v at 4M)",
+			p.Name, x, p.ModelCentralizedPlan(1<<22, pp).Total(),
+			p.ModelDistributedPlan(1<<22, 1<<20, pp).Total())
+	}
+}
+
+// TestPlanModelEdgeCases: degenerate worlds must not panic or go negative.
+func TestPlanModelEdgeCases(t *testing.T) {
+	p := Stampede2()
+	pp := DefaultPlanParams()
+	for _, n := range []int{0, 1, 2, 3} {
+		c := p.ModelCentralizedPlan(n, pp)
+		d := p.ModelDistributedPlan(n, 0, pp)
+		if c.Total() < 0 || d.Total() < 0 {
+			t.Fatalf("n=%d: negative plan cost (%v, %v)", n, c.Total(), d.Total())
+		}
+	}
+	if got := p.ModelCentralizedPlan(0, pp).Total(); got != 0 {
+		t.Errorf("empty world centralized cost = %v", got)
+	}
+}

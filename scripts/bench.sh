@@ -19,6 +19,16 @@ compress_particles="${COMPRESSBENCH_PARTICLES:-400000}"
 go run ./cmd/batbench -compressbench -compressbench-out "$compress_out" \
 	-compress-particles "$compress_particles"
 
+# The plan-scaling benchmark compares centralized vs distributed planning:
+# real small-world runs plus a modeled weak-scaling table, neither of which
+# needs multiple cores to be meaningful.
+treebuild_out="${TREEBENCH_OUT:-BENCH_treebuild.json}"
+treebench_flags=()
+if [ "${TREEBENCH_QUICK:-0}" != 0 ]; then
+	treebench_flags+=(-treebench-quick)
+fi
+go run ./cmd/batbench -treebench -treebench-out "$treebuild_out" "${treebench_flags[@]}"
+
 # The parallel-read numbers are meaningless on one core: every Workers>1
 # configuration degenerates to time-sliced serial execution plus scheduler
 # overhead. Record the core count prominently so a baseline generated on the
@@ -34,8 +44,24 @@ if [ "$maxprocs" -le 1 ]; then
 	echo "bench.sh: WARNING: to force a single-core run."                     >&2
 	echo "bench.sh: WARNING ------------------------------------------------" >&2
 	if [ "$out" = "BENCH_read.json" ]; then
+		# Leave a machine-readable record of the refusal so automation
+		# (and the next reader of results/) sees why the baseline was not
+		# refreshed instead of silently finding a stale file.
+		mkdir -p results
+		cat > results/BENCH_read.skipped.json <<-EOF
+		{
+		  "skipped": "BENCH_read.json",
+		  "reason": "single-core runner: parallel read configurations degenerate to time-sliced serial execution",
+		  "gomaxprocs": $maxprocs,
+		  "generated_by": "scripts/bench.sh"
+		}
+		EOF
+		echo "bench.sh: skip record written to results/BENCH_read.skipped.json" >&2
 		exit 1
 	fi
 fi
+
+# A fresh baseline supersedes any earlier single-core refusal record.
+rm -f results/BENCH_read.skipped.json
 
 go run ./cmd/batbench -readbench -readbench-out "$out" -read-particles "$particles"
